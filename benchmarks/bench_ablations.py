@@ -1,0 +1,86 @@
+"""Ablations beyond the paper's main figures (DESIGN.md §6).
+
+* Predictor value: Footprint Cache vs the sub-blocked cache (same
+  allocation, no prefetch) — isolates what footprint prediction buys.
+* FHT indexing: PC & offset vs PC-only vs offset-only (Section 3.1 argues
+  PC & offset tolerates data-structure alignment variation).
+"""
+
+from repro.analysis.report import format_table, percent
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+from common import PRETTY, baseline_for, emit, run_design
+
+INDEX_MODES = ("pc_offset", "pc", "offset")
+
+
+def test_ablation_predictor_value(benchmark):
+    def compute():
+        out = {}
+        for workload in ("web_search", "data_serving", "mapreduce"):
+            out[(workload, "subblock")] = run_design(workload, "subblock", 256)
+            out[(workload, "footprint")] = run_design(workload, "footprint", 256)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for workload in ("web_search", "data_serving", "mapreduce"):
+        sub = results[(workload, "subblock")]
+        fp = results[(workload, "footprint")]
+        rows.append(
+            (
+                PRETTY[workload],
+                percent(sub.miss_ratio),
+                percent(fp.miss_ratio),
+                f"{sub.offchip_traffic_normalized:.2f}",
+                f"{fp.offchip_traffic_normalized:.2f}",
+            )
+        )
+        # Prediction must slash the miss ratio at similar traffic.
+        assert fp.miss_ratio < sub.miss_ratio
+        assert fp.offchip_traffic_normalized < sub.offchip_traffic_normalized * 1.6
+    emit(
+        "ablation_predictor_value",
+        format_table(
+            ("Workload", "MR subblock", "MR footprint", "Traffic subblock", "Traffic footprint"),
+            rows,
+            title="Ablation - footprint prediction vs demand-fetch sub-blocking (256MB)",
+        ),
+    )
+
+
+def test_ablation_fht_indexing(benchmark):
+    def compute():
+        return {
+            (workload, mode): run_design(
+                workload, "footprint", 256, extras=(("fht_index_mode", mode),)
+            )
+            for workload in ("web_search", "sat_solver")
+            for mode in INDEX_MODES
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for workload in ("web_search", "sat_solver"):
+        row = [PRETTY[workload]]
+        for mode in INDEX_MODES:
+            r = results[(workload, mode)]
+            row.append(
+                f"hit {percent(r.hit_ratio)} / over {percent(r.predictor_overprediction)}"
+            )
+        rows.append(tuple(row))
+    emit(
+        "ablation_fht_indexing",
+        format_table(
+            ("Workload", "PC & offset", "PC only", "offset only"),
+            rows,
+            title="Ablation - FHT index mode (256MB, 16K entries)",
+        ),
+    )
+    for workload in ("web_search", "sat_solver"):
+        full = results[(workload, "pc_offset")]
+        for mode in ("pc", "offset"):
+            degraded = results[(workload, mode)]
+            # PC & offset should not lose to either degenerate indexing on
+            # the combined objective (hit ratio minus overfetch).
+            assert full.hit_ratio >= degraded.hit_ratio - 0.05

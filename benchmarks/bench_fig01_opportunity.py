@@ -1,0 +1,62 @@
+"""Fig. 1 — opportunity of die stacking: high bandwidth, then low latency.
+
+The paper's first figure motivates everything else: a system whose main
+memory is fully die-stacked ("High-BW") gains substantially over the 2D
+baseline, and halving the stacked DRAM latency on top ("High-BW &
+Low-Latency") gains more.  We reproduce both bars per workload with the
+Ideal design over normal and half-latency stacked timing.
+"""
+
+from repro.analysis.report import format_table, percent
+from repro.dram.timing import STACKED_DDR3_3200
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.sim.system import build_system
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+from common import PRETTY, SCALE, SEED, baseline_for, emit, geomean_improvement, run_design
+
+N = 120_000
+
+
+def _ideal_half_latency(workload: str):
+    config = SimulationConfig.scaled(
+        workload, "ideal", 256, scale=SCALE, num_requests=N, seed=SEED
+    )
+    system = build_system(config, stacked_timing=STACKED_DDR3_3200.with_halved_latency())
+    return Simulator(config, system=system).run()
+
+
+def test_fig01_opportunity(benchmark):
+    def compute():
+        rows = []
+        high_bw_all, low_lat_all = [], []
+        for workload in WORKLOAD_NAMES:
+            baseline = baseline_for(workload, num_requests=N)
+            high_bw = run_design(workload, "ideal", 256, num_requests=N)
+            low_latency = _ideal_half_latency(workload)
+            bw_gain = high_bw.improvement_over(baseline)
+            lat_gain = low_latency.improvement_over(baseline)
+            high_bw_all.append(bw_gain)
+            low_lat_all.append(lat_gain)
+            rows.append((PRETTY[workload], percent(bw_gain), percent(lat_gain)))
+        rows.append(
+            (
+                "Geomean",
+                percent(geomean_improvement(high_bw_all)),
+                percent(geomean_improvement(low_lat_all)),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        ("Workload", "High-BW", "High-BW & Low-Latency"),
+        rows,
+        title="Fig. 1 - Performance improvement with die-stacked main memory",
+    )
+    emit("fig01_opportunity", table)
+
+    # The Low-Latency system must dominate the High-BW-only system.
+    for _, bw, lat in rows:
+        assert float(lat.rstrip("%")) >= float(bw.rstrip("%")) - 1.0

@@ -1,0 +1,85 @@
+"""Fig. 6 — performance improvement over the baseline system.
+
+Five workloads (Data Serving is Fig. 7) x four capacities x four designs
+(block, page, footprint, ideal), plus the geomean panel, plus the
+Section 6.3 headlines: Footprint Cache ~57% over baseline and ~82% of the
+Ideal cache's performance.
+"""
+
+from repro.analysis.report import format_table, percent
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+from common import CAPACITIES_MB, PRETTY, baseline_for, emit, geomean_improvement, run_design
+
+FIG6_WORKLOADS = tuple(w for w in WORKLOAD_NAMES if w != "data_serving")
+DESIGNS = ("block", "page", "footprint", "ideal")
+
+
+def test_fig06_performance(benchmark):
+    def compute():
+        out = {}
+        for workload in FIG6_WORKLOADS:
+            baseline = baseline_for(workload)
+            for capacity in CAPACITIES_MB:
+                for design in DESIGNS:
+                    result = run_design(workload, design, capacity)
+                    out[(workload, capacity, design)] = result.improvement_over(baseline)
+        return out
+
+    improvements = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for workload in FIG6_WORKLOADS:
+        for capacity in CAPACITIES_MB:
+            rows.append(
+                (PRETTY[workload], f"{capacity}MB")
+                + tuple(
+                    percent(improvements[(workload, capacity, d)]) for d in DESIGNS
+                )
+            )
+    for capacity in CAPACITIES_MB:
+        rows.append(
+            ("Geomean", f"{capacity}MB")
+            + tuple(
+                percent(
+                    geomean_improvement(
+                        [improvements[(w, capacity, d)] for w in FIG6_WORKLOADS]
+                    )
+                )
+                for d in DESIGNS
+            )
+        )
+
+    emit(
+        "fig06_performance",
+        format_table(
+            ("Workload", "Capacity", "Block", "Page", "Footprint", "Ideal"),
+            rows,
+            title="Fig. 6 - Performance improvement over baseline",
+        ),
+    )
+
+    # Headlines at 512MB (the paper's '57%, 82% of Ideal' operating point).
+    footprint_512 = [improvements[(w, 512, "footprint")] for w in FIG6_WORKLOADS]
+    ideal_512 = [improvements[(w, 512, "ideal")] for w in FIG6_WORKLOADS]
+    fp = geomean_improvement(footprint_512)
+    ideal = geomean_improvement(ideal_512)
+    emit(
+        "fig06_headlines",
+        "Headline (paper: +57% over baseline, 82% of Ideal at 512MB):\n"
+        f"  footprint geomean improvement = {percent(fp)}\n"
+        f"  fraction of Ideal performance = {percent((1 + fp) / (1 + ideal))}",
+    )
+
+    for workload in FIG6_WORKLOADS:
+        # Footprint must win (or tie) against block and page at 512MB ...
+        assert improvements[(workload, 512, "footprint")] >= (
+            improvements[(workload, 512, "block")] - 0.03
+        )
+        assert improvements[(workload, 512, "footprint")] >= (
+            improvements[(workload, 512, "page")] - 0.05
+        )
+        # ... and never beat the Ideal bound.
+        assert improvements[(workload, 512, "footprint")] <= (
+            improvements[(workload, 512, "ideal")] + 0.02
+        )

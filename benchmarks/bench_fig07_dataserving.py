@@ -1,0 +1,43 @@
+"""Fig. 7 — Data Serving performance (plotted separately in the paper).
+
+Data Serving is the most bandwidth-hungry workload; the page-based cache
+initially *hurts* it while Footprint Cache tracks the Ideal design.
+"""
+
+from repro.analysis.report import format_table, percent
+
+from common import CAPACITIES_MB, baseline_for, emit, run_design
+
+DESIGNS = ("block", "page", "footprint", "ideal")
+
+
+def test_fig07_data_serving(benchmark):
+    def compute():
+        baseline = baseline_for("data_serving")
+        return {
+            (capacity, design): run_design("data_serving", design, capacity)
+            .improvement_over(baseline)
+            for capacity in CAPACITIES_MB
+            for design in DESIGNS
+        }
+
+    improvements = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        (f"{capacity}MB",)
+        + tuple(percent(improvements[(capacity, d)]) for d in DESIGNS)
+        for capacity in CAPACITIES_MB
+    ]
+    emit(
+        "fig07_data_serving",
+        format_table(
+            ("Capacity", "Block", "Page", "Footprint", "Ideal"),
+            rows,
+            title="Fig. 7 - Data Serving performance improvement over baseline",
+        ),
+    )
+
+    # Paper shape: page-based struggles at 64MB; footprint approaches
+    # ideal at larger capacities.
+    assert improvements[(64, "page")] < improvements[(64, "footprint")]
+    assert improvements[(512, "footprint")] > 0.5 * improvements[(512, "ideal")]

@@ -1,0 +1,63 @@
+"""Fig. 8 — predictor accuracy vs page size (1KB / 2KB / 4KB, 256MB).
+
+Covered + underpredicted stack to 100% of demanded blocks; overpredicted
+blocks stack on top.  The paper finds 1-2KB pages the sweet spot, with
+larger pages needing more history.
+"""
+
+from repro.analysis.predictor_accuracy import predictor_accuracy
+from repro.analysis.report import format_table, percent
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+from common import PRETTY, SCALE, SEED, emit
+
+PAGE_SIZES = (1024, 2048, 4096)
+N = 160_000
+
+
+def test_fig08_predictor_accuracy_vs_page_size(benchmark):
+    def compute():
+        return {
+            (workload, page_size): predictor_accuracy(
+                workload,
+                capacity_mb=256,
+                page_size=page_size,
+                fht_entries=16384,
+                scale=SCALE,
+                num_requests=N,
+                seed=SEED,
+            )
+            for workload in WORKLOAD_NAMES
+            for page_size in PAGE_SIZES
+        }
+
+    breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for workload in WORKLOAD_NAMES:
+        for page_size in PAGE_SIZES:
+            b = breakdowns[(workload, page_size)]
+            rows.append(
+                (
+                    PRETTY[workload],
+                    f"{page_size}B",
+                    percent(b.coverage),
+                    percent(b.underprediction),
+                    percent(b.overprediction),
+                )
+            )
+    emit(
+        "fig08_predictor_accuracy",
+        format_table(
+            ("Workload", "Page", "Covered", "Underpredictions", "Overpredictions"),
+            rows,
+            title="Fig. 8 - Predictor accuracy vs page size (256MB, 16K FHT)",
+        ),
+    )
+
+    for (workload, page_size), b in breakdowns.items():
+        assert abs(b.coverage + b.underprediction - 1.0) < 1e-9
+        # Overpredictions stay small everywhere (the predictor's key virtue).
+        assert b.overprediction < 0.35, (workload, page_size)
+    # 2KB coverage should be respectable for the predictable workloads.
+    assert breakdowns[("web_search", 2048)].coverage > 0.75

@@ -1,0 +1,87 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Every bench regenerates one table or figure of the paper and prints it in
+the paper's row/series layout.  Simulation results are memoised across
+benches within one pytest session (Figs. 5, 6, 7, 10 and 11 all consume
+the same design x capacity x workload runs).
+
+Scaling: benches run at ``SCALE = 256`` (a 256MB cache is simulated as
+1MB against a proportionally scaled dataset; see DESIGN.md §5).  Trace
+lengths are capacity-aware so larger caches get enough evictions to warm
+the footprint history.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Dict, Tuple
+
+from repro.perf.stats import geometric_mean
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import build_system
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+MB = 1024 * 1024
+SCALE = 256
+CAPACITIES_MB = (64, 128, 256, 512)
+SEED = 0
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+PRETTY = {
+    "data_serving": "Data Serving",
+    "mapreduce": "MapReduce",
+    "multiprogrammed": "Multiprogrammed",
+    "sat_solver": "SAT Solver",
+    "web_frontend": "Web Frontend",
+    "web_search": "Web Search",
+}
+
+
+def requests_for(capacity_mb: int) -> int:
+    """Capacity-aware trace length: bigger caches need more evictions."""
+    pages = capacity_mb * MB // SCALE // 2048
+    return max(120_000, pages * 120)
+
+
+@functools.lru_cache(maxsize=None)
+def run_design(
+    workload: str,
+    design: str,
+    capacity_mb: int,
+    extras: Tuple[Tuple[str, object], ...] = (),
+    num_requests: int = 0,
+    seed: int = SEED,
+) -> SimulationResult:
+    """Memoised simulation of one (workload, design, capacity) point."""
+    config = SimulationConfig.scaled(
+        workload,
+        design,
+        capacity_mb,
+        scale=SCALE,
+        num_requests=num_requests or requests_for(capacity_mb),
+        seed=seed,
+        **dict(extras),
+    )
+    return Simulator(config).run()
+
+
+def baseline_for(workload: str, num_requests: int = 0) -> SimulationResult:
+    """The no-DRAM-cache baseline for a workload (capacity-independent)."""
+    return run_design(workload, "baseline", 64, num_requests=num_requests or 120_000)
+
+
+def geomean_improvement(improvements) -> float:
+    """Geometric-mean improvement over a set of per-workload speedups."""
+    return geometric_mean([1.0 + i for i in improvements]) - 1.0
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's table and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Custom workload: define your own access-function mix and evaluate it.
+
+Shows the extension point a downstream user would reach for first:
+building a :class:`WorkloadProfile` from scratch — here a synthetic
+"in-memory analytics" service mixing columnar scans with point lookups —
+and running every cache design against it.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro.analysis.report import format_table, percent
+from repro.sim.config import CacheConfig, SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.sim.system import build_system
+from repro.workloads.profiles import AccessFunctionSpec, WorkloadProfile
+
+MB = 1024 * 1024
+
+ANALYTICS = WorkloadProfile(
+    name="analytics",
+    functions=(
+        # Columnar scan: reads whole pages of a column, streaming.
+        AccessFunctionSpec(
+            kind="full", weight=0.5, region_fraction=0.8,
+            zipf_alpha=0.0, write_fraction=0.02,
+        ),
+        # Dimension-table lookups: hot, small, reused.
+        AccessFunctionSpec(
+            kind="sequential", weight=0.25, min_blocks=4, max_blocks=8,
+            region_fraction=0.02, zipf_alpha=1.0, write_fraction=0.05,
+        ),
+        # Hash-join probes: singleton touches, no reuse.
+        AccessFunctionSpec(
+            kind="singleton", weight=0.25, region_fraction=1.0,
+            zipf_alpha=0.05, write_fraction=0.05,
+        ),
+    ),
+    dataset_bytes=64 * MB,
+    instructions_per_access=150,
+)
+
+
+def main() -> None:
+    print("Evaluating cache designs on a custom analytics workload ...")
+    rows = []
+    baseline_ipc = None
+    for design in ("baseline", "block", "page", "footprint", "ideal"):
+        config = SimulationConfig(
+            workload="analytics",
+            cache=CacheConfig(design=design, capacity_bytes=MB, tag_latency=9),
+            num_requests=120_000,
+        )
+        system = build_system(config, profile=ANALYTICS)
+        result = Simulator(config, system=system).run()
+        if design == "baseline":
+            baseline_ipc = result.aggregate_ipc
+        rows.append(
+            (
+                design,
+                percent(result.miss_ratio),
+                f"{result.offchip_traffic_normalized:.2f}x",
+                percent(result.aggregate_ipc / baseline_ipc - 1.0),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("Design", "Miss ratio", "Off-chip traffic", "Perf vs baseline"),
+            rows,
+            title="Custom analytics workload (1MB simulated cache)",
+        )
+    )
+    print()
+    print(
+        "Scans plus hot lookups reward page-level allocation; join probes "
+        "punish whole-page fetch - exactly the regime Footprint Cache's "
+        "per-page footprints and singleton bypass are built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Predictor tuning: page size and history size trade-offs (Figs. 8-9).
+
+Sweeps the two knobs the paper tunes for the footprint predictor:
+
+* the page size (1KB / 2KB / 4KB) — larger pages shrink the tag array but
+  dilute the ``PC & offset`` correlation, and
+* the number of FHT entries — history too small thrashes and loses
+  coverage; the paper settles on 16K entries (144KB of SRAM).
+
+Usage::
+
+    python examples/predictor_tuning.py [workload]
+"""
+
+import sys
+
+from repro import quick_run
+from repro.analysis.predictor_accuracy import predictor_accuracy
+from repro.analysis.report import format_table, percent
+from repro.core.overheads import footprint_tag_bytes
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "web_search"
+    if workload not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {workload!r}; pick one of {WORKLOAD_NAMES}")
+
+    print(f"Sweeping predictor parameters for {workload!r} ...")
+
+    page_rows = []
+    for page_size in (1024, 2048, 4096):
+        breakdown = predictor_accuracy(
+            workload, capacity_mb=256, page_size=page_size, num_requests=120_000
+        )
+        tags_mb = footprint_tag_bytes(256 * MB, page_size=page_size) / MB
+        page_rows.append(
+            (
+                f"{page_size}B",
+                percent(breakdown.coverage),
+                percent(breakdown.underprediction),
+                percent(breakdown.overprediction),
+                f"{tags_mb:.2f}MB",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("Page size", "Covered", "Under", "Over", "Tag SRAM (256MB cache)"),
+            page_rows,
+            title="Fig. 8 analogue - page size vs predictor accuracy",
+        )
+    )
+
+    fht_rows = []
+    for entries in (256, 1024, 4096, 16384):
+        result = quick_run(
+            workload, design="footprint", capacity_mb=256,
+            num_requests=120_000, fht_entries=entries,
+        )
+        fht_rows.append(
+            (f"{entries}", percent(result.hit_ratio), percent(result.predictor_coverage))
+        )
+    print()
+    print(
+        format_table(
+            ("FHT entries", "Hit ratio", "Coverage"),
+            fht_rows,
+            title="Fig. 9 analogue - history size vs hit ratio",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a Footprint Cache on one scale-out workload.
+
+Runs the Web Search workload through a 256MB (scaled) Footprint Cache and
+the no-cache baseline, then prints the numbers the paper leads with: hit
+ratio, off-chip traffic, predictor accuracy, and performance improvement.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+
+where ``workload`` is one of: data_serving, mapreduce, multiprogrammed,
+sat_solver, web_frontend, web_search (default).
+"""
+
+import sys
+
+from repro import quick_run
+from repro.analysis.report import percent
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "web_search"
+    if workload not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {workload!r}; pick one of {WORKLOAD_NAMES}")
+
+    print(f"Simulating {workload!r} on a 16-core pod (scaled 256MB cache) ...")
+    baseline = quick_run(workload, design="baseline", capacity_mb=256, num_requests=120_000)
+    footprint = quick_run(workload, design="footprint", capacity_mb=256, num_requests=120_000)
+
+    print()
+    print(f"  DRAM cache hit ratio      : {percent(footprint.hit_ratio)}")
+    print(f"  off-chip traffic (vs none): {footprint.offchip_traffic_normalized:.2f}x")
+    print(f"  predictor coverage        : {percent(footprint.predictor_coverage)}")
+    print(f"  predictor overprediction  : {percent(footprint.predictor_overprediction)}")
+    print(f"  singleton bypasses        : {percent(footprint.bypass_ratio)}")
+    improvement = footprint.improvement_over(baseline)
+    print(f"  performance improvement   : {percent(improvement)} over the baseline")
+    print()
+    print(
+        "The paper's Footprint Cache delivers page-cache hit ratios at "
+        "block-cache traffic; both properties should be visible above."
+    )
+
+
+if __name__ == "__main__":
+    main()

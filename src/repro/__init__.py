@@ -1,0 +1,40 @@
+"""Footprint Cache (ISCA 2013) reproduction.
+
+This package reimplements, in Python, the full system evaluated in
+*Die-Stacked DRAM Caches for Servers: Hit Ratio, Latency, or Bandwidth?
+Have It All with Footprint Cache* (Jevdjic, Volos, Falsafi — ISCA 2013):
+
+* the Footprint Cache itself (:mod:`repro.core`),
+* the competing die-stacked DRAM cache designs (:mod:`repro.caches`),
+* a DDR3 bank/row-buffer timing and energy model (:mod:`repro.dram`),
+* synthetic scale-out workload generators calibrated to the paper's
+  spatial characterisation (:mod:`repro.workloads`),
+* a trace-driven pod simulator and analytic performance model
+  (:mod:`repro.sim`, :mod:`repro.perf`), and
+* the analyses behind every figure and table (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import quick_run
+>>> result = quick_run("web_search", design="footprint", capacity_mb=4)
+>>> 0.0 <= result.miss_ratio <= 1.0
+True
+"""
+
+from repro.mem.request import AccessType, MemoryRequest
+from repro.sim.config import CacheConfig, SimulationConfig, SystemConfig
+from repro.sim.simulator import SimulationResult, Simulator, quick_run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "MemoryRequest",
+    "CacheConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "SimulationResult",
+    "Simulator",
+    "quick_run",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro``.
+
+Run a single experiment point from the shell::
+
+    python -m repro --workload web_search --design footprint --capacity 256
+    python -m repro --workload data_serving --design page --capacity 64 \
+        --requests 200000 --seed 3
+
+Prints the metrics one Fig. 5/6/10 data point needs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import format_table, percent
+from repro.sim.config import DESIGNS, SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Footprint Cache (ISCA 2013) reproduction: run one experiment.",
+    )
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="web_search")
+    parser.add_argument("--design", choices=DESIGNS, default="footprint")
+    parser.add_argument(
+        "--capacity", type=int, default=256, metavar="MB",
+        help="nominal (paper) cache capacity in MB (default 256)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=256,
+        help="capacity/dataset scale-down factor (default 256; 1 = paper-sized)",
+    )
+    parser.add_argument("--requests", type=int, default=120_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--page-size", type=int, default=2048)
+    parser.add_argument(
+        "--fht-entries", type=int, default=16384,
+        help="footprint history entries (footprint design only)",
+    )
+    parser.add_argument(
+        "--no-singleton", action="store_true",
+        help="disable the Singleton Table capacity optimisation",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="also run the no-cache baseline and report the improvement",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cache_kwargs = {}
+    if args.design == "footprint":
+        cache_kwargs["fht_entries"] = args.fht_entries
+        cache_kwargs["singleton_optimization"] = not args.no_singleton
+    config = SimulationConfig.scaled(
+        args.workload,
+        args.design,
+        args.capacity,
+        scale=args.scale,
+        num_requests=args.requests,
+        seed=args.seed,
+        page_size=args.page_size,
+        **cache_kwargs,
+    )
+    result = Simulator(config).run()
+
+    rows = [
+        ("miss ratio", percent(result.miss_ratio)),
+        ("hit ratio", percent(result.hit_ratio)),
+        ("off-chip traffic (vs baseline)", f"{result.offchip_traffic_normalized:.2f}x"),
+        ("aggregate IPC", f"{result.aggregate_ipc:.2f}"),
+        ("off-chip energy / instr", f"{result.offchip_energy_per_instruction():.3f} nJ"),
+        ("stacked energy / instr", f"{result.stacked_energy_per_instruction():.3f} nJ"),
+    ]
+    if result.predictor_coverage is not None:
+        rows.append(("predictor coverage", percent(result.predictor_coverage)))
+        rows.append(("predictor overprediction", percent(result.predictor_overprediction)))
+        rows.append(("singleton bypasses", percent(result.bypass_ratio)))
+    if args.baseline:
+        baseline_config = SimulationConfig.scaled(
+            args.workload, "baseline", args.capacity,
+            scale=args.scale, num_requests=args.requests, seed=args.seed,
+        )
+        baseline = Simulator(baseline_config).run()
+        rows.append(("improvement over baseline", percent(result.improvement_over(baseline))))
+
+    title = (
+        f"{args.workload} / {args.design} / {args.capacity}MB "
+        f"(scale {args.scale}, {args.requests} requests)"
+    )
+    print(format_table(("metric", "value"), rows, title=title))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

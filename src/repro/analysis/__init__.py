@@ -1,0 +1,17 @@
+"""Analyses behind the paper's characterisation figures."""
+
+from repro.analysis.coverage import coverage_curve, ideal_cache_size_for_coverage
+from repro.analysis.page_density import DENSITY_BUCKETS, PageDensityTracker, page_density_profile
+from repro.analysis.predictor_accuracy import predictor_accuracy
+from repro.analysis.report import format_table, percent
+
+__all__ = [
+    "coverage_curve",
+    "ideal_cache_size_for_coverage",
+    "DENSITY_BUCKETS",
+    "PageDensityTracker",
+    "page_density_profile",
+    "predictor_accuracy",
+    "format_table",
+    "percent",
+]

@@ -1,0 +1,68 @@
+"""Access-coverage analysis (paper Fig. 12, the CHOP discussion).
+
+Fig. 12 asks: with a *perfect* hot-page predictor and an ideal replacement
+policy, how much cache is needed so that the resident pages cover a given
+fraction of all accesses?  The answer — over 1GB for 80% — is why
+page-popularity filtering fails on scale-out workloads: their accesses
+spread across the dataset without a compact hot set.
+
+The computation sorts pages by access count and accumulates: covering the
+top-k pages requires ``k * page_size`` bytes of cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.mem.request import MemoryRequest, page_address
+
+
+def access_counts_per_page(
+    requests: Iterable[MemoryRequest], page_size: int = 4096
+) -> Counter:
+    """Access count per page over a trace (4KB pages, as in [13])."""
+    counts: Counter = Counter()
+    for request in requests:
+        counts[page_address(request.address, page_size)] += 1
+    return counts
+
+
+def coverage_curve(
+    counts: Counter, page_size: int = 4096, points: Sequence[float] = (0.2, 0.4, 0.6, 0.8)
+) -> List[Tuple[float, int]]:
+    """(fraction covered, ideal cache bytes) pairs for Fig. 12's x-axis.
+
+    Pages are ranked by popularity (the perfect predictor); each point
+    reports the smallest cache that covers that fraction of accesses.
+    """
+    for p in points:
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"coverage fraction {p} outside (0, 1]")
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty trace")
+    ranked = sorted(counts.values(), reverse=True)
+    curve: List[Tuple[float, int]] = []
+    for target in sorted(points):
+        threshold = target * total
+        running = 0
+        pages_needed = 0
+        for count in ranked:
+            running += count
+            pages_needed += 1
+            if running >= threshold:
+                break
+        curve.append((target, pages_needed * page_size))
+    return curve
+
+
+def ideal_cache_size_for_coverage(
+    requests: Iterable[MemoryRequest],
+    coverage: float = 0.8,
+    page_size: int = 4096,
+) -> int:
+    """Bytes of ideal cache needed to cover ``coverage`` of accesses."""
+    counts = access_counts_per_page(requests, page_size)
+    ((_, size),) = coverage_curve(counts, page_size, points=(coverage,))
+    return size

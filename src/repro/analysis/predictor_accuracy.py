@@ -1,0 +1,71 @@
+"""Predictor accuracy measurement (paper Fig. 8).
+
+Runs the Footprint Cache over a trace and reports covered / underpredicted
+/ overpredicted block fractions, normalised the way the paper stacks them:
+covered + underpredicted = 100% of demanded blocks; overpredictions sit on
+top as extra fetched-but-unused blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.footprint_cache import FootprintCache
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.sim.system import build_system
+
+
+@dataclass(frozen=True)
+class AccuracyBreakdown:
+    """One Fig. 8 bar."""
+
+    workload: str
+    page_size: int
+    coverage: float
+    underprediction: float
+    overprediction: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Dict form for the report formatter."""
+        return {
+            "Covered": self.coverage,
+            "Underpredictions": self.underprediction,
+            "Overpredictions": self.overprediction,
+        }
+
+
+def predictor_accuracy(
+    workload: str,
+    capacity_mb: int = 256,
+    page_size: int = 2048,
+    fht_entries: int = 16384,
+    scale: int = 64,
+    num_requests: int = 60_000,
+    seed: int = 0,
+) -> AccuracyBreakdown:
+    """Measure predictor accuracy for one workload / page size point."""
+    config = SimulationConfig.scaled(
+        workload,
+        "footprint",
+        capacity_mb,
+        scale=scale,
+        num_requests=num_requests,
+        seed=seed,
+        page_size=page_size,
+        fht_entries=fht_entries,
+    )
+    simulator = Simulator(config)
+    simulator.run()
+    cache = simulator.system.cache
+    if not isinstance(cache, FootprintCache):
+        raise TypeError("predictor accuracy requires the footprint design")
+    stats = cache.predictor_stats
+    return AccuracyBreakdown(
+        workload=workload,
+        page_size=page_size,
+        coverage=stats.coverage,
+        underprediction=stats.underprediction_rate,
+        overprediction=stats.overprediction_rate,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for the benches.
+
+Every bench prints its figure/table as rows of labelled columns so that
+EXPERIMENTS.md can record paper-vs-measured numbers directly from bench
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string ('57.0%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table.
+
+    >>> print(format_table(("a", "b"), [(1, 2)]))
+    a | b
+    --+--
+    1 | 2
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def stacked_bar_rows(
+    series: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+) -> List[List[str]]:
+    """Rows for stacked-bar figures (Fig. 5's page ⊂ footprint ⊂ block)."""
+    rows: List[List[str]] = []
+    for label, values in series.items():
+        rows.append([label] + [percent(values.get(c, 0.0)) for c in columns])
+    return rows

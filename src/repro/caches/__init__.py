@@ -1,0 +1,42 @@
+"""Die-stacked DRAM cache designs the paper compares against.
+
+* :mod:`repro.caches.block_cache` — the state-of-the-art block-based design
+  (Loh-Hill: tags in DRAM rows, MissMap, compound access scheduling).
+* :mod:`repro.caches.page_cache` — the page-based design (SRAM tags,
+  whole-page fetch).
+* :mod:`repro.caches.subblock_cache` — a sub-blocked cache that allocates
+  pages but fetches blocks on demand (Section 3.1's "no overprediction,
+  maximum underprediction" strawman; our predictor ablation baseline).
+* :mod:`repro.caches.ideal_cache` — never misses, no tag overhead.
+* :mod:`repro.caches.chop_cache` — the CHOP-style hot-page filter cache
+  evaluated in Section 6.7.
+
+The Footprint Cache itself — the paper's contribution — lives in
+:mod:`repro.core`.
+"""
+
+from repro.caches.base import BaselineMemory, CacheAccessResult, DramCache
+from repro.caches.block_cache import BlockBasedCache
+from repro.caches.chop_cache import ChopCache
+from repro.caches.ideal_cache import IdealCache
+from repro.caches.missmap import MissMap
+from repro.caches.page_cache import PageBasedCache
+from repro.caches.replacement import LruPolicy, RandomPolicy, ReplacementPolicy
+from repro.caches.sram_cache import SetAssociativeCache
+from repro.caches.subblock_cache import SubBlockedCache
+
+__all__ = [
+    "BaselineMemory",
+    "CacheAccessResult",
+    "DramCache",
+    "BlockBasedCache",
+    "ChopCache",
+    "IdealCache",
+    "MissMap",
+    "PageBasedCache",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SubBlockedCache",
+]

@@ -1,0 +1,152 @@
+"""Common interface of all die-stacked DRAM cache designs.
+
+Every design receives the stream of L2 misses (the requests that reach the
+DRAM cache level), consults its metadata, moves data between the stacked
+DRAM and off-chip DRAM through the two memory controllers, and reports the
+latency each request observed.  The controllers accumulate traffic and
+energy, so Figs. 5b, 10 and 11 fall out of the same run as Fig. 5a.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.controller import MemoryController
+from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.perf.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one request at the DRAM cache level.
+
+    Attributes
+    ----------
+    hit:
+        True if the demanded block was served from the stacked DRAM.
+    latency:
+        Cycles from request arrival to data return, including tag lookup,
+        DRAM queueing, and (on a miss) the off-chip round trip.
+    bypassed:
+        True if the request was served off-chip *by design* (e.g. singleton
+        bypass in Footprint Cache) rather than as an allocation miss.
+    fill_blocks:
+        Blocks fetched from off-chip memory because of this request
+        (demand block + prefetched footprint / page remainder).
+    writeback_blocks:
+        Dirty blocks written back off-chip because of this request.
+    """
+
+    hit: bool
+    latency: int
+    bypassed: bool = False
+    fill_blocks: int = 0
+    writeback_blocks: int = 0
+
+
+class DramCache(abc.ABC):
+    """Abstract die-stacked DRAM cache.
+
+    Concrete designs implement :meth:`access`; the shared bookkeeping here
+    (hit/miss counters, traffic attribution) keeps the designs comparable.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        stacked: MemoryController,
+        offchip: MemoryController,
+        block_size: int = BLOCK_SIZE,
+    ) -> None:
+        self.stacked = stacked
+        self.offchip = offchip
+        self.block_size = block_size
+        self.stats = StatGroup(self.name)
+
+    @abc.abstractmethod
+    def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
+        """Service ``request`` arriving at CPU cycle ``now``."""
+
+    @property
+    def accesses(self) -> int:
+        """Requests seen so far."""
+        return self.stats.counter("accesses").value
+
+    @property
+    def hits(self) -> int:
+        """Requests served from stacked DRAM."""
+        return self.stats.counter("hits").value
+
+    @property
+    def misses(self) -> int:
+        """Requests that needed off-chip data."""
+        return self.accesses - self.hits
+
+    @property
+    def miss_ratio(self) -> float:
+        """Miss ratio as plotted in Fig. 5a."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_ratio(self) -> float:
+        """1 - miss ratio."""
+        return 1.0 - self.miss_ratio
+
+    def _critical_fetch_latency(self, fetch, total_bytes: int) -> int:
+        """Latency until the *demand block* of a multi-block fetch returns.
+
+        Page-organised designs fetch several blocks in one burst but
+        forward the demanded block critical-block-first; the burst tail is
+        off the critical path.  The tail is bounded by what the controller
+        actually bursts on one bank (one interleave stripe).
+        """
+        timing = self.offchip.timing
+        stripe = min(total_bytes, self.offchip.mapping.interleave_bytes)
+        tail_bus_cycles = timing.burst_cycles(stripe) - timing.burst_cycles(self.block_size)
+        return fetch.latency - timing.to_cpu_cycles(max(0, tail_bus_cycles))
+
+    def _record(self, result: CacheAccessResult) -> CacheAccessResult:
+        """Fold one access result into the shared statistics."""
+        self.stats.counter("accesses").increment()
+        if result.hit:
+            self.stats.counter("hits").increment()
+        if result.bypassed:
+            self.stats.counter("bypasses").increment()
+        self.stats.counter("fill_blocks").increment(result.fill_blocks)
+        self.stats.counter("writeback_blocks").increment(result.writeback_blocks)
+        self.stats.counter("total_latency").increment(result.latency)
+        return result
+
+    def reset_stats(self) -> None:
+        """End-of-warm-up reset of this design's statistics."""
+        self.stats.reset()
+
+
+class BaselineMemory(DramCache):
+    """The paper's baseline: no DRAM cache, every request goes off-chip.
+
+    Implemented as a degenerate :class:`DramCache` so the simulator and
+    benches can treat the baseline uniformly.
+    """
+
+    name = "baseline"
+
+    def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
+        dram = self.offchip.access(
+            request.block_address(self.block_size),
+            self.block_size,
+            request.is_write,
+            now,
+        )
+        return self._record(
+            CacheAccessResult(
+                hit=False,
+                latency=dram.latency,
+                fill_blocks=0 if request.is_write else 1,
+            )
+        )

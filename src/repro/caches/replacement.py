@@ -1,0 +1,117 @@
+"""Replacement policies for set-associative structures.
+
+The paper's tag arrays use LRU (the tag entry of Fig. 3 carries LRU state);
+a pseudo-random policy is provided for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Generic, Hashable, List, Optional, TypeVar
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+class ReplacementPolicy(abc.ABC, Generic[Key]):
+    """Tracks recency/occupancy of one cache set and picks victims."""
+
+    @abc.abstractmethod
+    def on_access(self, key: Key) -> None:
+        """Record a touch of ``key`` (must already be resident)."""
+
+    @abc.abstractmethod
+    def on_insert(self, key: Key) -> None:
+        """Record that ``key`` became resident."""
+
+    @abc.abstractmethod
+    def on_evict(self, key: Key) -> None:
+        """Record that ``key`` left the set."""
+
+    @abc.abstractmethod
+    def victim(self) -> Key:
+        """Choose the resident key to evict next."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys tracked."""
+
+
+class LruPolicy(ReplacementPolicy[Key]):
+    """Least-recently-used replacement.
+
+    Implemented over an insertion-ordered dict: Python dicts preserve
+    insertion order, so re-inserting on access keeps the first key the LRU.
+    """
+
+    def __init__(self) -> None:
+        self._order: dict = {}
+
+    def on_access(self, key: Key) -> None:
+        if key not in self._order:
+            raise KeyError(f"access to non-resident key {key!r}")
+        del self._order[key]
+        self._order[key] = None
+
+    def on_insert(self, key: Key) -> None:
+        if key in self._order:
+            raise KeyError(f"duplicate insert of key {key!r}")
+        self._order[key] = None
+
+    def on_evict(self, key: Key) -> None:
+        if key not in self._order:
+            raise KeyError(f"evicting non-resident key {key!r}")
+        del self._order[key]
+
+    def victim(self) -> Key:
+        if not self._order:
+            raise LookupError("victim() on empty set")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class RandomPolicy(ReplacementPolicy[Key]):
+    """Uniform-random replacement (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._keys: List[Key] = []
+        self._index: dict = {}
+
+    def on_access(self, key: Key) -> None:
+        if key not in self._index:
+            raise KeyError(f"access to non-resident key {key!r}")
+
+    def on_insert(self, key: Key) -> None:
+        if key in self._index:
+            raise KeyError(f"duplicate insert of key {key!r}")
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+
+    def on_evict(self, key: Key) -> None:
+        if key not in self._index:
+            raise KeyError(f"evicting non-resident key {key!r}")
+        position = self._index.pop(key)
+        last = self._keys.pop()
+        if position < len(self._keys):
+            self._keys[position] = last
+            self._index[last] = position
+
+    def victim(self) -> Key:
+        if not self._keys:
+            raise LookupError("victim() on empty set")
+        return self._rng.choice(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``"lru"`` or ``"random"``."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,67 @@
+"""Sub-blocked (sectored) cache: allocate pages, fetch blocks on demand.
+
+Section 3.1 uses this design as the "no overprediction, maximum
+underprediction" end of the spectrum: every demanded block of a page
+misses once.  We implement it both as that conceptual strawman and as the
+predictor-off ablation of Footprint Cache.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import CacheAccessResult
+from repro.caches.page_cache import PageBasedCache, PageLine
+from repro.mem.request import MemoryRequest
+
+
+class SubBlockedCache(PageBasedCache):
+    """Page-allocated, demand-fetched DRAM cache."""
+
+    name = "subblock"
+
+    def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
+        page = request.page_address(self.page_size)
+        offset = request.block_index_in_page(self.page_size, self.block_size)
+        bit = 1 << offset
+        latency = self.tag_latency
+        line = self._tags.lookup(page)
+
+        if line is not None and line.demanded_mask & bit:
+            dram = self.stacked.access(
+                line.frame + offset * self.block_size,
+                self.block_size,
+                request.is_write,
+                now + latency,
+            )
+            latency += dram.latency
+            if request.is_write:
+                line.dirty_mask |= bit
+            return self._record(CacheAccessResult(hit=True, latency=latency))
+
+        if line is None:
+            # Allocate the page but fetch nothing beyond the demand block.
+            writebacks = self._make_room(page, now + latency)
+            frame = self._frames.allocate(self._set_of(page))
+            line = PageLine(frame=frame)
+            if self._tags.insert(page, line) is not None:
+                raise RuntimeError("victim should have been evicted by _make_room")
+        else:
+            writebacks = 0
+
+        fetch = self.offchip.access(
+            page + offset * self.block_size, self.block_size, False, now + latency
+        )
+        latency += fetch.latency
+        self.stacked.access(
+            line.frame + offset * self.block_size, self.block_size, True, now + latency
+        )
+        line.demanded_mask |= bit
+        if request.is_write:
+            line.dirty_mask |= bit
+        return self._record(
+            CacheAccessResult(
+                hit=False,
+                latency=latency,
+                fill_blocks=1,
+                writeback_blocks=writebacks,
+            )
+        )

@@ -1,0 +1,140 @@
+"""Block state encoding of the paper's Table 2.
+
+Each block of a resident page carries two bits, (dirty, valid)::
+
+    00  the block is not in the cache
+    01  the block is valid, clean, not demanded yet
+    10  the block is valid, clean, was demanded
+    11  the block is valid, dirty, was demanded
+
+The trick (Section 4.3): a block cannot be dirty without having been
+demanded, so the *high* bit doubles as the demanded bit, and the demanded
+bit vector — the page's footprint, fed back to the FHT at eviction —
+requires no extra storage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BlockState(enum.Enum):
+    """The four per-block states of Table 2, as (dirty_bit, valid_bit)."""
+
+    NOT_PRESENT = (0, 0)
+    PREFETCHED = (0, 1)
+    DEMANDED_CLEAN = (1, 0)
+    DEMANDED_DIRTY = (1, 1)
+
+    @property
+    def is_present(self) -> bool:
+        """True if the block occupies cache storage."""
+        return self is not BlockState.NOT_PRESENT
+
+    @property
+    def is_demanded(self) -> bool:
+        """True if a core has requested the block (the high bit)."""
+        return self.value[0] == 1
+
+    @property
+    def is_dirty(self) -> bool:
+        """True if the block holds modified data."""
+        return self is BlockState.DEMANDED_DIRTY
+
+
+@dataclass
+class PageBlockBits:
+    """The two per-page bit vectors (D and V of Fig. 3 / Table 2).
+
+    ``high_mask`` holds each block's high (dirty-column) bit and
+    ``low_mask`` the low (valid-column) bit, so block *i*'s state is
+    ``(high>>i & 1, low>>i & 1)``.
+    """
+
+    blocks_per_page: int
+    high_mask: int = 0
+    low_mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_page <= 0:
+            raise ValueError("blocks_per_page must be positive")
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self.blocks_per_page:
+            raise IndexError(
+                f"block {index} out of range [0, {self.blocks_per_page})"
+            )
+        return 1 << index
+
+    def state_of(self, index: int) -> BlockState:
+        """Decode block ``index``'s two bits into a :class:`BlockState`."""
+        bit = self._check(index)
+        high = 1 if self.high_mask & bit else 0
+        low = 1 if self.low_mask & bit else 0
+        return BlockState((high, low))
+
+    def set_state(self, index: int, state: BlockState) -> None:
+        """Encode ``state`` into block ``index``'s two bits."""
+        bit = self._check(index)
+        high, low = state.value
+        self.high_mask = self.high_mask | bit if high else self.high_mask & ~bit
+        self.low_mask = self.low_mask | bit if low else self.low_mask & ~bit
+
+    def install_prefetched(self, mask: int) -> None:
+        """Mark every block in ``mask`` as valid-clean-not-demanded (01)."""
+        self._check_mask(mask)
+        self.high_mask &= ~mask
+        self.low_mask |= mask
+
+    def mark_demanded(self, index: int, dirty: bool) -> None:
+        """Transition a block on a core request (Section 4.3).
+
+        Any demanded block becomes 10 (clean) or 11 (dirty); a block that
+        was already dirty stays dirty even on a clean re-access.
+        """
+        bit = self._check(index)
+        already_dirty = bool(self.high_mask & self.low_mask & bit)
+        self.high_mask |= bit
+        if dirty or already_dirty:
+            self.low_mask |= bit
+        else:
+            self.low_mask &= ~bit
+
+    def _check_mask(self, mask: int) -> None:
+        if mask < 0 or mask >> self.blocks_per_page:
+            raise ValueError(
+                f"mask {mask:#x} has bits outside {self.blocks_per_page} blocks"
+            )
+
+    @property
+    def present_mask(self) -> int:
+        """Blocks occupying cache storage (any non-00 state)."""
+        return self.high_mask | self.low_mask
+
+    @property
+    def demanded_mask(self) -> int:
+        """The page's footprint: blocks a core actually requested."""
+        return self.high_mask
+
+    @property
+    def dirty_mask(self) -> int:
+        """Blocks holding modified data (state 11)."""
+        return self.high_mask & self.low_mask
+
+    @property
+    def prefetched_unused_mask(self) -> int:
+        """Fetched-but-never-demanded blocks (state 01): overpredictions."""
+        return self.low_mask & ~self.high_mask
+
+    def count_present(self) -> int:
+        """Number of blocks in the cache for this page."""
+        return bin(self.present_mask).count("1")
+
+    def count_demanded(self) -> int:
+        """Page density: number of demanded blocks."""
+        return bin(self.demanded_mask).count("1")
+
+    def count_dirty(self) -> int:
+        """Number of dirty blocks."""
+        return bin(self.dirty_mask).count("1")

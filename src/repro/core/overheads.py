@@ -1,0 +1,162 @@
+"""SRAM overhead and latency model behind the paper's Table 4.
+
+Given a cache capacity and design, compute the metadata SRAM required
+(tag array, MissMap, FHT, ST) and the lookup latency of that SRAM.
+Latency follows the paper's reported points: small arrays (~0.4MB) take
+4 cycles, multi-megabyte ones 11+.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+MB = 1024 * 1024
+
+_LATENCY_THRESHOLDS = (
+    (0.42 * MB, 4),
+    (0.60 * MB, 5),
+    (1.00 * MB, 6),
+    (2.00 * MB, 9),
+    (3.20 * MB, 11),
+)
+
+
+def sram_latency_cycles(storage_bytes: int) -> int:
+    """Lookup latency (CPU cycles at 3GHz) of an SRAM array of this size.
+
+    Piecewise model fitted to the ten (size, latency) points of Table 4.
+    """
+    if storage_bytes < 0:
+        raise ValueError("storage_bytes must be non-negative")
+    for threshold, latency in _LATENCY_THRESHOLDS:
+        if storage_bytes <= threshold:
+            return latency
+    return 13
+
+
+@dataclass(frozen=True)
+class DesignOverheads:
+    """Metadata SRAM and critical-path lookup latency for one design."""
+
+    design: str
+    capacity_bytes: int
+    storage_bytes: int
+    latency_cycles: int
+
+    @property
+    def storage_mb(self) -> float:
+        """Storage in megabytes, as Table 4 reports it."""
+        return self.storage_bytes / MB
+
+
+def footprint_tag_bytes(
+    capacity_bytes: int,
+    page_size: int = 2048,
+    associativity: int = 16,
+    block_size: int = 64,
+) -> int:
+    """Footprint Cache tag array bytes (tag, valid, LRU, 2 vectors, pointer)."""
+    _validate(capacity_bytes, page_size)
+    num_pages = capacity_bytes // page_size
+    num_sets = max(1, capacity_bytes // (page_size * associativity))
+    offset_bits = (page_size - 1).bit_length()
+    index_bits = (num_sets - 1).bit_length() if num_sets > 1 else 0
+    tag_bits = max(1, 40 - offset_bits - index_bits)
+    lru_bits = max(1, (associativity - 1).bit_length())
+    blocks_per_page = page_size // block_size
+    bits_per_entry = tag_bits + 1 + lru_bits + 2 * blocks_per_page + 14
+    return num_pages * bits_per_entry // 8
+
+
+def page_tag_bytes(
+    capacity_bytes: int,
+    page_size: int = 2048,
+    associativity: int = 16,
+    block_size: int = 64,
+) -> int:
+    """Page-based cache tag bytes (tag, valid, LRU, dirty vector)."""
+    _validate(capacity_bytes, page_size)
+    num_pages = capacity_bytes // page_size
+    num_sets = max(1, capacity_bytes // (page_size * associativity))
+    offset_bits = (page_size - 1).bit_length()
+    index_bits = (num_sets - 1).bit_length() if num_sets > 1 else 0
+    tag_bits = max(1, 40 - offset_bits - index_bits)
+    lru_bits = max(1, (associativity - 1).bit_length())
+    blocks_per_page = page_size // block_size
+    bits_per_entry = tag_bits + 1 + lru_bits + blocks_per_page
+    return num_pages * bits_per_entry // 8
+
+
+def missmap_bytes(num_entries: int, segment_bytes: int = 4096, block_size: int = 64) -> int:
+    """MissMap SRAM bytes: ~19-bit tag + one presence bit per block.
+
+    Matches Table 4: 192K entries -> 1.95MB, 288K -> 2.92MB.
+    """
+    if num_entries <= 0:
+        raise ValueError("num_entries must be positive")
+    bits_per_entry = 19 + segment_bytes // block_size
+    return num_entries * bits_per_entry // 8
+
+
+def missmap_entries_for(capacity_bytes: int) -> int:
+    """MissMap sizing rule of Table 4.
+
+    The paper dedicates a fixed ~2MB SRAM budget (192K entries) to the
+    MissMap for 64-256MB caches and grows it by 50% (288K entries) at
+    512MB, because MissMap entry evictions force dirty cache evictions
+    that interfere with regular traffic.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity_bytes must be positive")
+    if capacity_bytes <= 256 * MB:
+        return 192 * 1024
+    return 288 * 1024
+
+
+def overheads_for(
+    design: str,
+    capacity_bytes: int,
+    page_size: int = 2048,
+    associativity: int = 16,
+    fht_storage_bytes: int = 144 * 1024,
+) -> DesignOverheads:
+    """Table 4 row for ``design`` at ``capacity_bytes``.
+
+    ``design`` is one of ``footprint``, ``page``, ``block``, ``subblock``,
+    ``chop``, ``ideal`` or ``baseline``.  For the block design, the
+    reported storage/latency is the MissMap's (the tags are in DRAM); for
+    ideal/baseline there is no metadata.
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity_bytes must be non-negative")
+    if design in ("ideal", "baseline"):
+        return DesignOverheads(design, capacity_bytes, 0, 0)
+    if design in ("footprint", "subblock"):
+        storage = footprint_tag_bytes(capacity_bytes, page_size, associativity)
+        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
+    if design in ("page", "chop"):
+        storage = page_tag_bytes(capacity_bytes, page_size, associativity)
+        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
+    if design == "block":
+        entries = missmap_entries_for(capacity_bytes)
+        storage = missmap_bytes(entries)
+        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
+    raise ValueError(f"unknown design {design!r}")
+
+
+def table4(capacities_mb=(64, 128, 256, 512)) -> Dict[str, Dict[int, DesignOverheads]]:
+    """The full Table 4 as {design: {capacity_mb: overheads}}."""
+    table: Dict[str, Dict[int, DesignOverheads]] = {}
+    for design in ("footprint", "block", "page"):
+        table[design] = {
+            mb: overheads_for(design, mb * MB) for mb in capacities_mb
+        }
+    return table
+
+
+def _validate(capacity_bytes: int, page_size: int) -> None:
+    if capacity_bytes <= 0:
+        raise ValueError("capacity_bytes must be positive")
+    if page_size <= 0 or page_size & (page_size - 1):
+        raise ValueError("page_size must be a positive power of two")

@@ -1,0 +1,198 @@
+"""Memory controller: address mapping + bank timing + energy, per channel.
+
+One :class:`MemoryController` models all channels of one DRAM instance
+(off-chip or stacked).  Latency of an access is::
+
+    queue wait (bank busy)  +  row operation (hit/closed/conflict)  +  burst
+
+all converted to CPU cycles.  This captures the three effects the paper's
+design guidelines hinge on (Section 2.1): row-buffer locality, bank-level
+parallelism/availability, and transfer size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import Bank, RowBufferPolicy, RowOutcome
+from repro.dram.energy import DramEnergyCounters, DramEnergyModel
+from repro.dram.timing import DramTiming
+
+
+class AccessOutcome(enum.Enum):
+    """Row-buffer outcome of a DRAM access, for locality statistics."""
+
+    ROW_HIT = "row_hit"
+    ROW_CLOSED = "row_closed"
+    ROW_CONFLICT = "row_conflict"
+
+
+_OUTCOME_FROM_ROW = {
+    RowOutcome.HIT: AccessOutcome.ROW_HIT,
+    RowOutcome.CLOSED: AccessOutcome.ROW_CLOSED,
+    RowOutcome.CONFLICT: AccessOutcome.ROW_CONFLICT,
+}
+
+
+@dataclass(frozen=True)
+class DramAccessResult:
+    """Timing outcome of one access."""
+
+    outcome: AccessOutcome
+    start_cycle: int
+    finish_cycle: int
+    latency: int
+    queue_cycles: int
+
+
+class MemoryController:
+    """Controller for one DRAM instance (a set of identical channels).
+
+    Parameters
+    ----------
+    timing:
+        Device timing parameters.
+    mapping:
+        Address interleaving across channels/banks/rows.
+    policy:
+        Row-buffer policy (open- or close-page), chosen per cache design as
+        in Section 5.2 of the paper.
+    energy_model:
+        Per-event energies; accumulated in :attr:`energy`.
+    cpu_mhz:
+        Core frequency for bus-to-CPU cycle conversion.
+    """
+
+    def __init__(
+        self,
+        timing: DramTiming,
+        mapping: AddressMapping,
+        policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE,
+        energy_model: DramEnergyModel = None,
+        cpu_mhz: int = 3000,
+    ) -> None:
+        if mapping.row_bytes > timing.row_buffer_bytes and mapping.interleave_bytes > timing.row_buffer_bytes:
+            raise ValueError(
+                "address mapping rows cannot exceed the device row buffer "
+                f"({mapping.row_bytes} > {timing.row_buffer_bytes})"
+            )
+        self.timing = timing
+        self.mapping = mapping
+        self.policy = policy
+        self.cpu_mhz = cpu_mhz
+        self.energy = DramEnergyCounters(model=energy_model or DramEnergyModel())
+        self._banks: List[List[Bank]] = [
+            [Bank(policy) for _ in range(mapping.banks_per_channel)]
+            for _ in range(mapping.channels)
+        ]
+        self.access_count = 0
+        self.row_hit_count = 0
+        self.busy_cpu_cycles = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def access(self, address: int, num_bytes: int, is_write: bool, now: int = 0) -> DramAccessResult:
+        """Perform one access of ``num_bytes`` starting at CPU cycle ``now``.
+
+        ``num_bytes`` is the full transfer for this DRAM operation (64B for
+        a block fetch, up to a page for a page fill).  Transfers larger than
+        the interleave unit are striped across channels; we model the
+        latency of the critical path (the widest stripe on one bank) and
+        charge energy for all of it.
+        """
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        if now < 0:
+            raise ValueError("now must be non-negative")
+
+        channel, bank_index, row = self.mapping.locate(address)
+        bank = self._banks[channel][bank_index]
+        bank_access = bank.access(row)
+        outcome = _OUTCOME_FROM_ROW[bank_access.outcome]
+
+        if bank_access.outcome is RowOutcome.HIT:
+            row_bus_cycles = self.timing.row_hit_bus_cycles
+        elif bank_access.outcome is RowOutcome.CLOSED:
+            row_bus_cycles = self.timing.row_closed_bus_cycles
+        else:
+            row_bus_cycles = self.timing.row_conflict_bus_cycles
+
+        stripe_bytes = min(num_bytes, self.mapping.interleave_bytes)
+        burst_bus_cycles = self.timing.burst_cycles(stripe_bytes)
+        if is_write:
+            row_bus_cycles += self.timing.t_wr if self.policy is RowBufferPolicy.CLOSE_PAGE else 0
+
+        device_cycles = self.timing.to_cpu_cycles(row_bus_cycles + burst_bus_cycles, self.cpu_mhz)
+        start = bank.reserve(now, device_cycles)
+        finish = start + device_cycles
+        queue_cycles = start - now
+
+        self.energy.record_row_operations(bank_access.activates, bank_access.precharges)
+        if is_write:
+            self.energy.record_write(num_bytes)
+            self.bytes_written += num_bytes
+        else:
+            self.energy.record_read(num_bytes)
+            self.bytes_read += num_bytes
+
+        self.access_count += 1
+        if outcome is AccessOutcome.ROW_HIT:
+            self.row_hit_count += 1
+        self.busy_cpu_cycles += device_cycles
+
+        return DramAccessResult(
+            outcome=outcome,
+            start_cycle=start,
+            finish_cycle=finish,
+            latency=finish - now,
+            queue_cycles=queue_cycles,
+        )
+
+    @property
+    def channels(self) -> int:
+        """Number of channels behind this controller."""
+        return self.mapping.channels
+
+    @property
+    def row_hit_ratio(self) -> float:
+        """Fraction of accesses that hit an open row."""
+        if self.access_count == 0:
+            return 0.0
+        return self.row_hit_count / self.access_count
+
+    @property
+    def total_bytes(self) -> int:
+        """Total data moved through this DRAM instance."""
+        return self.bytes_read + self.bytes_written
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Aggregate bank-time utilisation over ``elapsed_cycles``.
+
+        Used by the performance model to derive queueing delay: a channel
+        near saturation exposes rapidly growing wait times, which is what
+        sinks the page-based design at small capacities (Fig. 6).
+        """
+        if elapsed_cycles <= 0:
+            raise ValueError("elapsed_cycles must be positive")
+        capacity = elapsed_cycles * self.mapping.channels * self.mapping.banks_per_channel
+        return min(1.0, self.busy_cpu_cycles / capacity)
+
+    def peak_bandwidth_bytes_per_cycle(self) -> float:
+        """Peak data bandwidth of all channels, in bytes per CPU cycle."""
+        bytes_per_bus_cycle = self.timing.bus_width_bits / 8 * 2  # DDR: 2 beats
+        return bytes_per_bus_cycle * self.channels * self.timing.bus_mhz / self.cpu_mhz
+
+    def reset_stats(self) -> None:
+        """Zero statistics and energy (keeps row-buffer/busy state)."""
+        self.access_count = 0
+        self.row_hit_count = 0
+        self.busy_cpu_cycles = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.energy.reset()
+        for channel_banks in self._banks:
+            for bank in channel_banks:
+                bank.reset_stats()

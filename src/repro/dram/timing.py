@@ -1,0 +1,147 @@
+"""DDR3 timing parameter sets (paper Table 3).
+
+All latencies are expressed in *memory bus cycles* of the device itself and
+converted to CPU cycles by the controller using the bus/CPU frequency ratio.
+The paper's stacked DRAM is DDR3-3200 (1.6GHz bus) and the off-chip memory
+is DDR3-1600 (0.8GHz bus); cores run at 3GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing and topology parameters of one DRAM channel.
+
+    The timing fields follow the paper's Table 3 naming:
+    ``tCAS-tRCD-tRP-tRAS / tRC-tWR-tWTR-tRTP / tRRD-tFAW``.
+    """
+
+    name: str
+    bus_mhz: int
+    banks_per_rank: int
+    row_buffer_bytes: int
+    bus_width_bits: int
+    t_cas: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    t_rc: int
+    t_wr: int
+    t_wtr: int
+    t_rtp: int
+    t_rrd: int
+    t_faw: int
+    burst_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bus_mhz <= 0:
+            raise ValueError("bus_mhz must be positive")
+        if self.banks_per_rank <= 0:
+            raise ValueError("banks_per_rank must be positive")
+        if self.row_buffer_bytes <= 0 or self.row_buffer_bytes & (self.row_buffer_bytes - 1):
+            raise ValueError("row_buffer_bytes must be a positive power of two")
+        if self.bus_width_bits % 8:
+            raise ValueError("bus_width_bits must be a multiple of 8")
+
+    @property
+    def bytes_per_burst(self) -> int:
+        """Bytes transferred by one burst (BL beats of the bus width)."""
+        return self.bus_width_bits // 8 * self.burst_length
+
+    def burst_cycles(self, bytes_transferred: int) -> int:
+        """Bus cycles of data transfer for ``bytes_transferred`` bytes.
+
+        DDR moves data on both clock edges, hence the division by two beats
+        per cycle; partial bursts round up to a full burst.
+        """
+        if bytes_transferred <= 0:
+            raise ValueError("bytes_transferred must be positive")
+        bytes_per_beat = self.bus_width_bits // 8
+        beats = -(-bytes_transferred // bytes_per_beat)
+        beats = max(beats, self.burst_length)
+        return -(-beats // 2)
+
+    def to_cpu_cycles(self, bus_cycles: int, cpu_mhz: int = 3000) -> int:
+        """Convert device bus cycles to CPU cycles (rounding up)."""
+        if bus_cycles < 0:
+            raise ValueError("bus_cycles must be non-negative")
+        return -(-bus_cycles * cpu_mhz // self.bus_mhz)
+
+    @property
+    def row_hit_bus_cycles(self) -> int:
+        """Access latency when the row is already open: just CAS."""
+        return self.t_cas
+
+    @property
+    def row_closed_bus_cycles(self) -> int:
+        """Latency when the bank is precharged: ACT then CAS."""
+        return self.t_rcd + self.t_cas
+
+    @property
+    def row_conflict_bus_cycles(self) -> int:
+        """Latency when another row is open: PRE, ACT, CAS."""
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    def with_halved_latency(self) -> "DramTiming":
+        """A hypothetical device with half the core timing latencies.
+
+        Used by the Fig. 1 opportunity study ("High-BW & Low-Latency"),
+        which models stacked DRAM with halved latency [24].
+        """
+        return replace(
+            self,
+            name=f"{self.name}-half-latency",
+            t_cas=max(1, self.t_cas // 2),
+            t_rcd=max(1, self.t_rcd // 2),
+            t_rp=max(1, self.t_rp // 2),
+            t_ras=max(1, self.t_ras // 2),
+            t_rc=max(1, self.t_rc // 2),
+            t_wr=max(1, self.t_wr // 2),
+            t_wtr=max(1, self.t_wtr // 2),
+            t_rtp=max(1, self.t_rtp // 2),
+            t_rrd=max(1, self.t_rrd // 2),
+            t_faw=max(1, self.t_faw // 2),
+        )
+
+
+OFF_CHIP_DDR3_1600 = DramTiming(
+    name="DDR3-1600",
+    bus_mhz=800,
+    banks_per_rank=8,
+    row_buffer_bytes=2048,
+    bus_width_bits=64,
+    t_cas=11,
+    t_rcd=11,
+    t_rp=11,
+    t_ras=28,
+    t_rc=39,
+    t_wr=12,
+    t_wtr=6,
+    t_rtp=6,
+    t_rrd=5,
+    t_faw=24,
+)
+"""Off-chip channel: one DDR3-1600 channel per pod (Table 3)."""
+
+
+STACKED_DDR3_3200 = DramTiming(
+    name="DDR3-3200",
+    bus_mhz=1600,
+    banks_per_rank=8,
+    row_buffer_bytes=2048,
+    bus_width_bits=128,
+    t_cas=11,
+    t_rcd=11,
+    t_rp=11,
+    t_ras=28,
+    t_rc=39,
+    t_wr=12,
+    t_wtr=6,
+    t_rtp=6,
+    t_rrd=5,
+    t_faw=24,
+)
+"""Die-stacked channel: DDR3-3200 on a 128-bit TSV bus, 4 channels per pod."""

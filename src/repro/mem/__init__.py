@@ -1,0 +1,13 @@
+"""Memory request types, address arithmetic, and the SRAM cache level."""
+
+from repro.mem.hierarchy import L2Cache
+from repro.mem.request import AccessType, MemoryRequest, block_address, page_address, page_offset
+
+__all__ = [
+    "L2Cache",
+    "AccessType",
+    "MemoryRequest",
+    "block_address",
+    "page_address",
+    "page_offset",
+]

@@ -1,0 +1,134 @@
+"""On-chip SRAM cache level in front of the DRAM cache (paper Table 3).
+
+The pod's unified 4MB, 16-way L2 (13-cycle hit) sits between the cores
+and the die-stacked cache.  The default simulator configuration feeds the
+DRAM cache a *post-L2* stream directly (the workload generators are
+calibrated at that level), but the full hierarchy is available for
+studies that need it — e.g. replaying raw traces with short-term reuse,
+or the enhanced-baseline experiment of Section 6.3 (baseline with extra
+L2 capacity instead of DRAM-cache tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.base import CacheAccessResult, DramCache
+from repro.caches.sram_cache import SetAssociativeCache
+from repro.mem.request import BLOCK_SIZE, AccessType, MemoryRequest
+from repro.perf.stats import StatGroup
+
+
+@dataclass
+class _L2Line:
+    """Payload per cached block."""
+
+    dirty: bool = False
+
+
+class L2Cache:
+    """Unified, set-associative, write-back/write-allocate SRAM cache.
+
+    Dirty victims are written *into the DRAM cache level* (they become
+    the dirty evictions the paper discusses in Section 2), charged off
+    the critical path.
+    """
+
+    def __init__(
+        self,
+        backing: DramCache,
+        capacity_bytes: int = 4 * 1024 * 1024,
+        associativity: int = 16,
+        hit_latency: int = 13,
+        block_size: int = BLOCK_SIZE,
+        write_allocate: bool = True,
+    ) -> None:
+        if capacity_bytes % (block_size * associativity):
+            raise ValueError("capacity must be a whole number of sets")
+        self.backing = backing
+        self.capacity_bytes = capacity_bytes
+        self.associativity = associativity
+        self.hit_latency = hit_latency
+        self.block_size = block_size
+        self.write_allocate = write_allocate
+        num_sets = capacity_bytes // (block_size * associativity)
+        self._lines: SetAssociativeCache[int, _L2Line] = SetAssociativeCache(
+            num_sets=num_sets,
+            associativity=associativity,
+            policy="lru",
+            set_index=lambda block: (block // block_size) % num_sets,
+        )
+        self.stats = StatGroup("l2")
+
+    @property
+    def accesses(self) -> int:
+        """Requests seen."""
+        return self.stats.counter("accesses").value
+
+    @property
+    def hits(self) -> int:
+        """Requests served from SRAM."""
+        return self.stats.counter("hits").value
+
+    @property
+    def hit_ratio(self) -> float:
+        """L2 hit ratio."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
+        """Service one core request; misses recurse into the DRAM cache."""
+        self.stats.counter("accesses").increment()
+        block = request.block_address(self.block_size)
+        line = self._lines.lookup(block)
+        if line is not None:
+            self.stats.counter("hits").increment()
+            if request.is_write:
+                line.dirty = True
+            return CacheAccessResult(hit=True, latency=self.hit_latency)
+
+        if request.is_write and not self.write_allocate:
+            # Write-no-allocate: forward the write below, cache nothing.
+            below = self.backing.access(request, now + self.hit_latency)
+            return CacheAccessResult(
+                hit=below.hit,
+                latency=self.hit_latency + below.latency,
+                bypassed=below.bypassed,
+                fill_blocks=below.fill_blocks,
+                writeback_blocks=below.writeback_blocks,
+            )
+
+        # Miss: write-allocate — the level below always services a *read*
+        # (the write is absorbed here and written back at eviction).
+        fill = request if not request.is_write else MemoryRequest(
+            address=request.address,
+            pc=request.pc,
+            access_type=AccessType.READ,
+            core_id=request.core_id,
+            instruction_count=request.instruction_count,
+        )
+        below = self.backing.access(fill, now + self.hit_latency)
+        eviction = self._lines.insert(block, _L2Line(dirty=request.is_write))
+        if eviction is not None and eviction.payload.dirty:
+            self.stats.counter("dirty_writebacks").increment()
+            writeback = MemoryRequest(
+                address=eviction.key,
+                pc=request.pc,
+                access_type=AccessType.WRITE,
+                core_id=request.core_id,
+                instruction_count=0,
+            )
+            # Off the critical path; still moves data at the level below.
+            self.backing.access(writeback, now + self.hit_latency)
+        return CacheAccessResult(
+            hit=below.hit,
+            latency=self.hit_latency + below.latency,
+            bypassed=below.bypassed,
+            fill_blocks=below.fill_blocks,
+            writeback_blocks=below.writeback_blocks,
+        )
+
+    def reset_stats(self) -> None:
+        """End-of-warm-up reset (keeps cached contents)."""
+        self.stats.reset()

@@ -1,0 +1,19 @@
+"""System configuration, construction, and the trace-driven simulator."""
+
+from repro.sim.config import CacheConfig, SimulationConfig, SystemConfig
+from repro.sim.sampling import SamplingResult, SmartsSampler
+from repro.sim.simulator import SimulationResult, Simulator, quick_run
+from repro.sim.system import System, build_system
+
+__all__ = [
+    "CacheConfig",
+    "SimulationConfig",
+    "SystemConfig",
+    "SamplingResult",
+    "SmartsSampler",
+    "SimulationResult",
+    "Simulator",
+    "quick_run",
+    "System",
+    "build_system",
+]

@@ -1,0 +1,200 @@
+"""Simulation configuration (the paper's Tables 3 and 4 in code).
+
+``SystemConfig`` captures the pod architecture (Table 3), ``CacheConfig``
+one DRAM cache design point (Table 4), and ``SimulationConfig`` a full
+experiment: workload + system + cache + scaling + trace length.
+
+Scaling: the paper simulates 64-512MB caches against 16-32GB datasets.
+Cycle-level simulation in Python cannot stream the paper's 20-40 billion
+instructions per core, so the default configuration divides capacities and
+datasets by ``scale`` (64 by default).  Because server miss rates follow a
+power law (Section 7, "Cache capacity"), ratios — which determine every
+normalised result — are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.overheads import missmap_entries_for, overheads_for
+
+MB = 1024 * 1024
+
+DESIGNS: Tuple[str, ...] = (
+    "baseline",
+    "block",
+    "page",
+    "footprint",
+    "subblock",
+    "chop",
+    "ideal",
+)
+"""Every cache design the simulator can build."""
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Pod-level architecture parameters (paper Table 3).
+
+    One pod: 16 ARM Cortex-A15-like 3-way OoO cores at 3GHz, a 4MB L2,
+    one off-chip DDR3-1600 channel, four stacked DDR3-3200 channels.
+    """
+
+    num_cores: int = 16
+    cpu_mhz: int = 3000
+    base_cpi: float = 0.55
+    exposed_latency_fraction: float = 0.7
+    offchip_channels: int = 1
+    offchip_banks_per_channel: int = 8
+    stacked_channels: int = 4
+    stacked_banks_per_channel: int = 8
+    dram_row_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.cpu_mhz <= 0:
+            raise ValueError("cpu_mhz must be positive")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if not 0.0 < self.exposed_latency_fraction <= 1.0:
+            raise ValueError("exposed_latency_fraction must be in (0, 1]")
+        for name in (
+            "offchip_channels",
+            "offchip_banks_per_channel",
+            "stacked_channels",
+            "stacked_banks_per_channel",
+            "dram_row_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One DRAM cache design point.
+
+    ``tag_latency`` of None derives the latency from the design's metadata
+    SRAM size via the Table 4 model (:mod:`repro.core.overheads`).
+    """
+
+    design: str = "footprint"
+    capacity_bytes: int = 4 * MB
+    page_size: int = 2048
+    associativity: int = 16
+    tag_latency: Optional[int] = None
+    fht_entries: int = 16384
+    fht_associativity: int = 16
+    fht_index_mode: str = "pc_offset"
+    singleton_optimization: bool = True
+    singleton_entries: int = 512
+    chop_hot_threshold: int = 4
+    chop_filter_entries: int = 16384
+    block_data_blocks_per_row: int = 30
+    missmap_entries: Optional[int] = None
+    missmap_associativity: int = 24
+
+    def __post_init__(self) -> None:
+        if self.design not in DESIGNS:
+            raise ValueError(f"unknown design {self.design!r}; one of {DESIGNS}")
+        if self.capacity_bytes <= 0 and self.design not in ("baseline",):
+            raise ValueError("capacity_bytes must be positive")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+
+    def resolved_tag_latency(self) -> int:
+        """Tag/MissMap lookup latency for this design point."""
+        if self.tag_latency is not None:
+            return self.tag_latency
+        return overheads_for(
+            self.design,
+            max(self.capacity_bytes, 1),
+            page_size=self.page_size,
+            associativity=self.associativity,
+        ).latency_cycles
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """A full experiment definition."""
+
+    workload: str = "web_search"
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    system: SystemConfig = field(default_factory=SystemConfig)
+    num_requests: int = 200_000
+    warmup_fraction: float = 0.5
+    seed: int = 0
+    dataset_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.dataset_scale <= 0:
+            raise ValueError("dataset_scale must be positive")
+
+    @property
+    def warmup_requests(self) -> int:
+        """Requests processed before statistics are reset (Section 5.4)."""
+        return int(self.num_requests * self.warmup_fraction)
+
+    @staticmethod
+    def scaled(
+        workload: str,
+        design: str,
+        capacity_mb: int,
+        scale: int = 256,
+        num_requests: int = 200_000,
+        seed: int = 0,
+        page_size: int = 2048,
+        **cache_kwargs,
+    ) -> "SimulationConfig":
+        """Experiment at the paper's nominal capacity, scaled down.
+
+        ``capacity_mb`` is the *paper* capacity (64-512); the simulated
+        cache holds ``capacity_mb / scale`` MB and the dataset shrinks by
+        the same factor relative to the profile defaults (which are stored
+        pre-scaled for ``scale == 64``).
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if capacity_mb * MB % scale:
+            raise ValueError("capacity must be divisible by scale")
+        if "tag_latency" not in cache_kwargs and design not in ("baseline", "ideal"):
+            # Tag latency reflects the *paper-sized* SRAM, not the scaled
+            # one: scaling shrinks the arrays but the real design would pay
+            # the Table 4 latency.
+            cache_kwargs["tag_latency"] = overheads_for(
+                design, capacity_mb * MB, page_size=page_size
+            ).latency_cycles
+        if "missmap_entries" not in cache_kwargs and design == "block":
+            # Scale the MissMap with the cache so its coverage-to-capacity
+            # ratio (and hence forced-eviction behaviour) matches the paper.
+            nominal = missmap_entries_for(capacity_mb * MB)
+            cache_kwargs["missmap_entries"] = max(96, nominal // scale)
+        cache = CacheConfig(
+            design=design,
+            capacity_bytes=capacity_mb * MB // scale,
+            page_size=page_size,
+            **cache_kwargs,
+        )
+        return SimulationConfig(
+            workload=workload,
+            cache=cache,
+            num_requests=num_requests,
+            seed=seed,
+            dataset_scale=64.0 / scale,
+        )
+
+    @staticmethod
+    def full_scale(
+        workload: str, design: str, capacity_mb: int, num_requests: int = 5_000_000
+    ) -> "SimulationConfig":
+        """The paper-sized configuration (slow: for users with patience)."""
+        return SimulationConfig.scaled(
+            workload, design, capacity_mb, scale=1, num_requests=num_requests
+        )

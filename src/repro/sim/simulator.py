@@ -1,0 +1,207 @@
+"""Trace-driven simulator: replay a workload through a cache design.
+
+The simulator mirrors the paper's methodology (Section 5.4): a warm-up
+phase populates the cache and predictor state, statistics reset, then the
+measured phase collects miss ratios, traffic, energy and throughput.
+Benches replay the *same* trace (same workload name and seed) through each
+design for an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.caches.base import DramCache
+from repro.core.footprint_cache import FootprintCache
+from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.perf.timing_model import PerformanceModel, PerformanceResult
+from repro.sim.config import SimulationConfig
+from repro.sim.system import System, build_system
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a bench needs to print one paper-style data point."""
+
+    workload: str
+    design: str
+    capacity_bytes: int
+    requests: int
+    miss_ratio: float
+    hit_ratio: float
+    bypass_ratio: float
+    performance: PerformanceResult
+    offchip_bytes: int
+    offchip_read_bytes: int
+    offchip_write_bytes: int
+    offchip_row_hit_ratio: float
+    offchip_activate_nj: float
+    offchip_read_write_nj: float
+    stacked_bytes: int
+    stacked_row_hit_ratio: float
+    stacked_activate_nj: float
+    stacked_read_write_nj: float
+    fill_blocks: int
+    writeback_blocks: int
+    predictor_coverage: Optional[float] = None
+    predictor_underprediction: Optional[float] = None
+    predictor_overprediction: Optional[float] = None
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """The paper's throughput metric."""
+        return self.performance.aggregate_ipc
+
+    @property
+    def offchip_traffic_normalized(self) -> float:
+        """Off-chip bytes over the no-cache baseline's (Fig. 5b).
+
+        The baseline moves exactly one block per request, so its traffic
+        for the same trace is ``requests * 64B``.
+        """
+        if self.requests == 0:
+            return 0.0
+        return self.offchip_bytes / (self.requests * BLOCK_SIZE)
+
+    @property
+    def offchip_energy_nj(self) -> float:
+        """Total off-chip dynamic energy (Fig. 10's bar height)."""
+        return self.offchip_activate_nj + self.offchip_read_write_nj
+
+    @property
+    def stacked_energy_nj(self) -> float:
+        """Total stacked-DRAM dynamic energy (Fig. 11's bar height)."""
+        return self.stacked_activate_nj + self.stacked_read_write_nj
+
+    def offchip_energy_per_instruction(self) -> float:
+        """nJ per committed instruction, off-chip DRAM."""
+        instructions = max(1, self.performance.instructions)
+        return self.offchip_energy_nj / instructions
+
+    def stacked_energy_per_instruction(self) -> float:
+        """nJ per committed instruction, stacked DRAM."""
+        instructions = max(1, self.performance.instructions)
+        return self.stacked_energy_nj / instructions
+
+    def improvement_over(self, baseline: "SimulationResult") -> float:
+        """Fractional performance improvement over another result."""
+        return self.performance.improvement_over(baseline.performance)
+
+
+class Simulator:
+    """Run one :class:`SimulationConfig` to completion."""
+
+    def __init__(self, config: SimulationConfig, system: Optional[System] = None) -> None:
+        self.config = config
+        self.system = system or build_system(config)
+        self.perf = PerformanceModel(
+            num_cores=config.system.num_cores,
+            base_cpi=config.system.base_cpi,
+            exposed_latency_fraction=config.system.exposed_latency_fraction,
+        )
+
+    def run(self, trace: Optional[Sequence[MemoryRequest]] = None) -> SimulationResult:
+        """Replay the workload (or an explicit ``trace``) and summarise.
+
+        With an explicit trace, ``config.num_requests`` still bounds how
+        many requests are consumed and the warm-up split applies the same
+        way.
+        """
+        cache = self.system.cache
+        perf = self.perf
+        warmup = self.config.warmup_requests
+        processed = 0
+        measured = 0
+
+        requests: Iterable[MemoryRequest]
+        if trace is None:
+            requests = self.system.workload.requests(self.config.num_requests)
+        else:
+            requests = iter(trace)
+
+        for request in requests:
+            if processed == warmup:
+                self.system.reset_stats()
+                perf.start_measurement()
+            now = perf.core_now(request.core_id)
+            result = cache.access(request, now)
+            perf.advance(request.core_id, request.instruction_count, result.latency)
+            processed += 1
+            if processed > warmup:
+                measured += 1
+            if processed >= self.config.num_requests:
+                break
+
+        if processed <= warmup:
+            # Degenerate short run: measure everything.
+            measured = processed
+
+        return self._summarise(measured)
+
+    def _summarise(self, measured: int) -> SimulationResult:
+        cache = self.system.cache
+        offchip = self.system.offchip
+        stacked = self.system.stacked
+        accesses = max(1, cache.accesses)
+        bypasses = cache.stats.counter("bypasses").value
+
+        coverage = underprediction = overprediction = None
+        if isinstance(cache, FootprintCache):
+            stats = cache.predictor_stats
+            coverage = stats.coverage
+            underprediction = stats.underprediction_rate
+            overprediction = stats.overprediction_rate
+
+        return SimulationResult(
+            workload=self.config.workload,
+            design=self.config.cache.design,
+            capacity_bytes=self.config.cache.capacity_bytes,
+            requests=measured,
+            miss_ratio=cache.miss_ratio,
+            hit_ratio=cache.hit_ratio,
+            bypass_ratio=bypasses / accesses,
+            performance=self.perf.result(),
+            offchip_bytes=offchip.total_bytes,
+            offchip_read_bytes=offchip.bytes_read,
+            offchip_write_bytes=offchip.bytes_written,
+            offchip_row_hit_ratio=offchip.row_hit_ratio,
+            offchip_activate_nj=offchip.energy.activate_precharge_nj,
+            offchip_read_write_nj=offchip.energy.burst_nj,
+            stacked_bytes=stacked.total_bytes if stacked else 0,
+            stacked_row_hit_ratio=stacked.row_hit_ratio if stacked else 0.0,
+            stacked_activate_nj=stacked.energy.activate_precharge_nj if stacked else 0.0,
+            stacked_read_write_nj=stacked.energy.burst_nj if stacked else 0.0,
+            fill_blocks=cache.stats.counter("fill_blocks").value,
+            writeback_blocks=cache.stats.counter("writeback_blocks").value,
+            predictor_coverage=coverage,
+            predictor_underprediction=underprediction,
+            predictor_overprediction=overprediction,
+        )
+
+
+def quick_run(
+    workload: str,
+    design: str = "footprint",
+    capacity_mb: int = 256,
+    scale: int = 256,
+    num_requests: int = 60_000,
+    seed: int = 0,
+    **cache_kwargs,
+) -> SimulationResult:
+    """One-call experiment: build, run, summarise.
+
+    >>> result = quick_run("web_search", design="footprint", capacity_mb=256)
+    >>> result.design
+    'footprint'
+    """
+    config = SimulationConfig.scaled(
+        workload,
+        design,
+        capacity_mb,
+        scale=scale,
+        num_requests=num_requests,
+        seed=seed,
+        **cache_kwargs,
+    )
+    return Simulator(config).run()

@@ -1,0 +1,55 @@
+"""Factory for the paper's six evaluated workloads (Section 5.3).
+
+CloudSuite 1.0 scale-out workloads — Data Serving, MapReduce, SAT Solver,
+Web Frontend, Web Search — plus the multiprogrammed SPEC INT2006 mix the
+paper uses as a desktop reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.workloads.profiles import WorkloadProfile, profile_for
+from repro.workloads.synthetic import SyntheticWorkload
+
+WORKLOAD_NAMES: Tuple[str, ...] = (
+    "data_serving",
+    "mapreduce",
+    "multiprogrammed",
+    "sat_solver",
+    "web_frontend",
+    "web_search",
+)
+"""The six workloads of the paper's evaluation, in its plotting order."""
+
+
+def make_workload(
+    name: str,
+    seed: int = 0,
+    page_size: int = 2048,
+    dataset_scale: float = 1.0,
+    profile: Optional[WorkloadProfile] = None,
+) -> SyntheticWorkload:
+    """Build the synthetic generator for one named workload.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`WORKLOAD_NAMES`.
+    seed:
+        Trace seed; identical (name, seed, page_size) reproduce identical
+        traces, which the benches rely on to compare designs on the *same*
+        request stream.
+    page_size:
+        Page size the footprints are shaped for (Fig. 8 sweeps this).
+    dataset_scale:
+        Extra scaling applied to the profile's dataset, used when the cache
+        capacity is scaled (see DESIGN.md, "Scaling and calibration").
+    profile:
+        Override profile (for custom studies); ``name`` is then only a
+        label.
+    """
+    resolved = profile or profile_for(name)
+    if dataset_scale != 1.0:
+        resolved = resolved.scaled(dataset_scale)
+    return SyntheticWorkload(resolved, seed=seed, page_size=page_size)

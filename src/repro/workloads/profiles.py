@@ -1,0 +1,337 @@
+"""Workload profiles: the knobs that shape each synthetic trace.
+
+Each profile describes a mix of *access functions* — the paper's
+observation (Section 3.1) is that server software touches its structured
+datasets through a small set of functions (get/set methods, iterators),
+and the blocks a function touches within a page recur across pages.  A
+profile therefore lists function specs with:
+
+* a pattern *kind* (full-page scan, sequential run, strided walk, sparse
+  set, or singleton) and its size distribution,
+* a data region and its popularity skew (Zipf ``alpha``; 0 = streaming,
+  never revisited),
+* a write fraction (drives dirty evictions), and
+* a *drift* probability, the chance a function's learned footprint changes
+  between visits (SAT Solver's on-the-fly dataset, Section 6.2).
+
+Calibration targets (see DESIGN.md §5): the Fig. 4 page-density shapes,
+singleton fractions around a quarter of pages, page-cache and block-cache
+miss-ratio bands of Fig. 5a, and per-core off-chip bandwidth demand of
+0.6-1.6GB/s (Section 5.3) via ``instructions_per_access``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+MB = 1024 * 1024
+
+PATTERN_KINDS = ("full", "sequential", "strided", "sparse", "singleton")
+
+
+@dataclass(frozen=True)
+class AccessFunctionSpec:
+    """One synthetic access function (a PC the predictor can learn).
+
+    Attributes
+    ----------
+    kind:
+        Pattern family, one of :data:`PATTERN_KINDS`.
+    weight:
+        Relative probability that a new page visit uses this function.
+    min_blocks / max_blocks:
+        Footprint size range (ignored for ``full`` and ``singleton``).
+    stride:
+        Block stride for ``strided`` patterns.
+    region_fraction:
+        Fraction of the workload dataset this function touches.
+    zipf_alpha:
+        Page-popularity skew within the region; 0 means streaming access
+        (a moving cursor, pages never revisited).
+    write_fraction:
+        Probability an access is a write.
+    drift:
+        Probability that a visit resamples the function's footprint
+        instead of replaying the learned one.
+    """
+
+    kind: str
+    weight: float
+    min_blocks: int = 1
+    max_blocks: int = 1
+    stride: int = 1
+    region_fraction: float = 1.0
+    zipf_alpha: float = 0.0
+    write_fraction: float = 0.2
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PATTERN_KINDS:
+            raise ValueError(f"unknown pattern kind {self.kind!r}")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not 1 <= self.min_blocks <= self.max_blocks:
+            raise ValueError("need 1 <= min_blocks <= max_blocks")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if not 0 < self.region_fraction <= 1.0:
+            raise ValueError("region_fraction must be in (0, 1]")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be non-negative")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+        if not 0.0 <= self.drift <= 1.0:
+            raise ValueError("drift must be a probability")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full description of one synthetic workload."""
+
+    name: str
+    functions: Tuple[AccessFunctionSpec, ...]
+    dataset_bytes: int
+    pool_size: int = 128
+    pcs_per_function: int = 12
+    instructions_per_access: int = 180
+    num_cores: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("profile needs at least one access function")
+        if self.dataset_bytes <= 0:
+            raise ValueError("dataset_bytes must be positive")
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        if self.pcs_per_function <= 0:
+            raise ValueError("pcs_per_function must be positive")
+        if self.instructions_per_access <= 0:
+            raise ValueError("instructions_per_access must be positive")
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Profile with the dataset scaled by ``factor`` (capacity scaling)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return WorkloadProfile(
+            name=self.name,
+            functions=self.functions,
+            dataset_bytes=max(MB, int(self.dataset_bytes * factor)),
+            pool_size=self.pool_size,
+            pcs_per_function=self.pcs_per_function,
+            instructions_per_access=self.instructions_per_access,
+            num_cores=self.num_cores,
+        )
+
+
+def _ds(dataset_mb: int) -> int:
+    return dataset_mb * MB
+
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# The six workloads of Section 5.3.  Dataset sizes are the *scaled* defaults
+# (stored for scale = 64: 256MB here stands for the paper's 16GB);
+# SimulationConfig rescales them for other factors.
+# ---------------------------------------------------------------------------
+
+DATA_SERVING = _register(
+    WorkloadProfile(
+        name="data_serving",
+        functions=(
+            # Record gets/sets on the hot key range: medium runs, reused.
+            AccessFunctionSpec(
+                kind="sequential", weight=0.22, min_blocks=8, max_blocks=24,
+                region_fraction=0.15, zipf_alpha=1.05, write_fraction=0.35,
+            ),
+            # SSTable/compaction streaming: full-page scans, bandwidth-hungry.
+            AccessFunctionSpec(
+                kind="full", weight=0.38, region_fraction=0.9,
+                zipf_alpha=0.0, write_fraction=0.25,
+            ),
+            # Index/bloom-filter pointer lookups: singletons, no reuse.
+            AccessFunctionSpec(
+                kind="singleton", weight=0.25, region_fraction=1.0,
+                zipf_alpha=0.05, write_fraction=0.1,
+            ),
+            AccessFunctionSpec(
+                kind="sparse", weight=0.15, min_blocks=3, max_blocks=7,
+                region_fraction=0.3, zipf_alpha=0.90, write_fraction=0.3,
+            ),
+        ),
+        dataset_bytes=_ds(384),
+        instructions_per_access=120,
+    )
+)
+
+MAPREDUCE = _register(
+    WorkloadProfile(
+        name="mapreduce",
+        functions=(
+            # Key/value hash lookups: singletons dominating small caches.
+            AccessFunctionSpec(
+                kind="singleton", weight=0.38, region_fraction=1.0,
+                zipf_alpha=0.1, write_fraction=0.2,
+            ),
+            AccessFunctionSpec(
+                kind="sparse", weight=0.27, min_blocks=2, max_blocks=5,
+                region_fraction=0.4, zipf_alpha=0.80, write_fraction=0.25,
+            ),
+            AccessFunctionSpec(
+                kind="sequential", weight=0.18, min_blocks=4, max_blocks=10,
+                region_fraction=0.2, zipf_alpha=1.05, write_fraction=0.3,
+            ),
+            # Map-phase input scans.
+            AccessFunctionSpec(
+                kind="full", weight=0.17, region_fraction=1.0,
+                zipf_alpha=0.0, write_fraction=0.15,
+            ),
+        ),
+        dataset_bytes=_ds(320),
+        instructions_per_access=220,
+    )
+)
+
+MULTIPROGRAMMED = _register(
+    WorkloadProfile(
+        name="multiprogrammed",
+        functions=(
+            # Hot working sets of cache-friendly SPEC applications: the
+            # 512MB-equivalent cache captures these (Section 6.1).
+            AccessFunctionSpec(
+                kind="sequential", weight=0.30, min_blocks=8, max_blocks=20,
+                region_fraction=0.018, zipf_alpha=1.05, write_fraction=0.3,
+            ),
+            AccessFunctionSpec(
+                kind="full", weight=0.20, region_fraction=0.012,
+                zipf_alpha=1.05, write_fraction=0.25,
+            ),
+            # Streaming applications (libquantum-like).
+            AccessFunctionSpec(
+                kind="full", weight=0.13, region_fraction=1.0,
+                zipf_alpha=0.0, write_fraction=0.2,
+            ),
+            # Pointer-chasing applications (mcf-like): sparse, low reuse.
+            AccessFunctionSpec(
+                kind="sparse", weight=0.17, min_blocks=2, max_blocks=6,
+                region_fraction=0.8, zipf_alpha=0.2, write_fraction=0.2,
+            ),
+            AccessFunctionSpec(
+                kind="singleton", weight=0.20, region_fraction=1.0,
+                zipf_alpha=0.1, write_fraction=0.15,
+            ),
+        ),
+        dataset_bytes=_ds(288),
+        instructions_per_access=280,
+    )
+)
+
+SAT_SOLVER = _register(
+    WorkloadProfile(
+        name="sat_solver",
+        functions=(
+            # Clause traversals: learned clauses are created on the fly, so
+            # footprints drift and interfere with prediction (Section 6.2).
+            AccessFunctionSpec(
+                kind="sequential", weight=0.35, min_blocks=4, max_blocks=12,
+                region_fraction=0.25, zipf_alpha=1.00, write_fraction=0.3,
+                drift=0.3,
+            ),
+            # Watched-literal lookups.
+            AccessFunctionSpec(
+                kind="singleton", weight=0.28, region_fraction=1.0,
+                zipf_alpha=0.2, write_fraction=0.15,
+            ),
+            AccessFunctionSpec(
+                kind="sparse", weight=0.25, min_blocks=2, max_blocks=8,
+                region_fraction=0.4, zipf_alpha=0.80, write_fraction=0.25,
+                drift=0.35,
+            ),
+            AccessFunctionSpec(
+                kind="full", weight=0.12, region_fraction=0.7,
+                zipf_alpha=0.70, write_fraction=0.2,
+            ),
+        ),
+        dataset_bytes=_ds(288),
+        instructions_per_access=200,
+    )
+)
+
+WEB_FRONTEND = _register(
+    WorkloadProfile(
+        name="web_frontend",
+        functions=(
+            # Session/object accesses with strong reuse.
+            AccessFunctionSpec(
+                kind="sequential", weight=0.33, min_blocks=8, max_blocks=18,
+                region_fraction=0.15, zipf_alpha=1.05, write_fraction=0.35,
+            ),
+            # Template/buffer processing: dense pages.
+            AccessFunctionSpec(
+                kind="full", weight=0.29, region_fraction=0.3,
+                zipf_alpha=0.80, write_fraction=0.25,
+            ),
+            AccessFunctionSpec(
+                kind="singleton", weight=0.22, region_fraction=1.0,
+                zipf_alpha=0.1, write_fraction=0.15,
+            ),
+            AccessFunctionSpec(
+                kind="strided", weight=0.16, min_blocks=4, max_blocks=10,
+                stride=3, region_fraction=0.3, zipf_alpha=0.90,
+                write_fraction=0.25,
+            ),
+        ),
+        dataset_bytes=_ds(288),
+        instructions_per_access=190,
+    )
+)
+
+WEB_SEARCH = _register(
+    WorkloadProfile(
+        name="web_search",
+        functions=(
+            # Posting-list scans over the index: dense pages on a warm shard.
+            AccessFunctionSpec(
+                kind="full", weight=0.44, region_fraction=0.35,
+                zipf_alpha=0.95, write_fraction=0.05,
+            ),
+            AccessFunctionSpec(
+                kind="sequential", weight=0.30, min_blocks=16, max_blocks=30,
+                region_fraction=0.25, zipf_alpha=1.05, write_fraction=0.05,
+            ),
+            AccessFunctionSpec(
+                kind="singleton", weight=0.13, region_fraction=1.0,
+                zipf_alpha=0.1, write_fraction=0.05,
+            ),
+            AccessFunctionSpec(
+                kind="sparse", weight=0.13, min_blocks=3, max_blocks=8,
+                region_fraction=0.35, zipf_alpha=1.00, write_fraction=0.1,
+            ),
+        ),
+        dataset_bytes=_ds(320),
+        instructions_per_access=160,
+    )
+)
+
+
+def profile_for(name: str) -> WorkloadProfile:
+    """Registered profile by name; raises ``KeyError`` with the known set."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from None
+
+
+def all_profiles() -> Dict[str, WorkloadProfile]:
+    """All registered profiles keyed by name."""
+    return dict(_PROFILES)

@@ -1,0 +1,78 @@
+"""Trace helpers: materialisation and quick statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.mem.request import MemoryRequest, page_address
+
+
+def materialize(requests: Iterable[MemoryRequest], limit: int = None) -> List[MemoryRequest]:
+    """Collect up to ``limit`` requests into a list (all, if None).
+
+    Benches materialise once and replay the identical trace against every
+    design, matching the paper's trace-driven methodology (Section 5.4).
+    """
+    if limit is None:
+        return list(requests)
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    out: List[MemoryRequest] = []
+    for request in requests:
+        if len(out) >= limit:
+            break
+        out.append(request)
+    return out
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a trace."""
+
+    num_requests: int
+    num_writes: int
+    unique_pages: int
+    unique_blocks: int
+    unique_pcs: int
+    total_instructions: int
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of write requests."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.num_writes / self.num_requests
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        """DRAM-cache accesses per 1000 instructions (L2 MPKI analogue)."""
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * self.num_requests / self.total_instructions
+
+
+def trace_statistics(
+    requests: Sequence[MemoryRequest], page_size: int = 2048
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over a materialised trace."""
+    pages = set()
+    blocks = set()
+    pcs = set()
+    writes = 0
+    instructions = 0
+    for request in requests:
+        pages.add(page_address(request.address, page_size))
+        blocks.add(request.block_address())
+        pcs.add(request.pc)
+        if request.is_write:
+            writes += 1
+        instructions += request.instruction_count
+    return TraceStatistics(
+        num_requests=len(requests),
+        num_writes=writes,
+        unique_pages=len(pages),
+        unique_blocks=len(blocks),
+        unique_pcs=len(pcs),
+        total_instructions=instructions,
+    )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import RowBufferPolicy
+from repro.dram.controller import MemoryController
+from repro.dram.timing import OFF_CHIP_DDR3_1600, STACKED_DDR3_3200
+from repro.mem.request import AccessType, MemoryRequest
+
+
+@pytest.fixture
+def offchip() -> MemoryController:
+    """Off-chip controller: 1 channel, 8 banks, 2KB rows, open-page."""
+    return MemoryController(
+        timing=OFF_CHIP_DDR3_1600,
+        mapping=AddressMapping(
+            channels=1, banks_per_channel=8, row_bytes=2048, interleave_bytes=2048
+        ),
+        policy=RowBufferPolicy.OPEN_PAGE,
+    )
+
+
+@pytest.fixture
+def stacked() -> MemoryController:
+    """Stacked controller: 4 channels, 8 banks, 2KB rows, open-page."""
+    return MemoryController(
+        timing=STACKED_DDR3_3200,
+        mapping=AddressMapping(
+            channels=4, banks_per_channel=8, row_bytes=2048, interleave_bytes=2048
+        ),
+        policy=RowBufferPolicy.OPEN_PAGE,
+    )
+
+
+def read(address: int, pc: int = 0x400000, core: int = 0) -> MemoryRequest:
+    """Shorthand read request."""
+    return MemoryRequest(address=address, pc=pc, access_type=AccessType.READ, core_id=core)
+
+
+def write(address: int, pc: int = 0x400000, core: int = 0) -> MemoryRequest:
+    """Shorthand write request."""
+    return MemoryRequest(address=address, pc=pc, access_type=AccessType.WRITE, core_id=core)

@@ -1,0 +1,152 @@
+"""Unit tests for the analysis modules (Figs. 4, 8, 12 and reporting)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.coverage import (
+    access_counts_per_page,
+    coverage_curve,
+    ideal_cache_size_for_coverage,
+)
+from repro.analysis.page_density import (
+    DENSITY_BUCKETS,
+    PageDensityTracker,
+    page_density_profile,
+)
+from repro.analysis.predictor_accuracy import AccuracyBreakdown, predictor_accuracy
+from repro.analysis.report import format_table, percent, stacked_bar_rows
+from repro.mem.request import MemoryRequest
+from repro.workloads.cloudsuite import make_workload
+from repro.workloads.trace import materialize
+
+
+def request(addr):
+    return MemoryRequest(address=addr)
+
+
+class TestPageDensity:
+    def test_buckets_cover_1_to_32(self):
+        covered = set()
+        for low, high, _ in DENSITY_BUCKETS:
+            covered.update(range(low, high + 1))
+        assert covered == set(range(1, 33))
+
+    def test_single_block_page(self):
+        tracker = PageDensityTracker(capacity_bytes=16 * 2048)
+        tracker.observe(request(0))
+        tracker.finish()
+        assert tracker.histogram.count(1) == 1
+
+    def test_density_counts_unique_blocks(self):
+        tracker = PageDensityTracker(capacity_bytes=16 * 2048)
+        for offset in (0, 64, 64, 128):
+            tracker.observe(request(offset))
+        tracker.finish()
+        assert tracker.histogram.count(3) == 1
+
+    def test_eviction_flushes_density(self):
+        # 1 set x 2 ways: third page evicts the first.
+        tracker = PageDensityTracker(capacity_bytes=2 * 2048, associativity=2)
+        tracker.observe(request(0))
+        tracker.observe(request(64))
+        tracker.observe(request(2048))
+        tracker.observe(request(2 * 2048))
+        assert tracker.histogram.count(2) == 1  # page 0 evicted with 2 blocks
+
+    def test_bucket_fractions_sum_to_one(self):
+        tracker = PageDensityTracker(capacity_bytes=16 * 2048)
+        for i in range(100):
+            tracker.observe(request(i * 2048 + (i % 4) * 64))
+        tracker.finish()
+        assert sum(tracker.bucket_fractions().values()) == pytest.approx(1.0)
+
+    def test_profile_function(self):
+        trace = materialize(make_workload("web_search", seed=1).requests(5000))
+        profile = page_density_profile(trace, capacity_bytes=64 * 2048)
+        assert set(profile) == {label for _, _, label in DENSITY_BUCKETS}
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PageDensityTracker(capacity_bytes=1000)
+
+
+class TestCoverage:
+    def test_access_counts(self):
+        counts = access_counts_per_page([request(0), request(64), request(4096)])
+        assert counts[0] == 2
+        assert counts[4096] == 1
+
+    def test_curve_monotonic(self):
+        counts = Counter({i * 4096: 100 - i for i in range(100)})
+        curve = coverage_curve(counts)
+        sizes = [size for _, size in curve]
+        assert sizes == sorted(sizes)
+
+    def test_skewed_needs_less_cache(self):
+        skewed = Counter({0: 1000, 4096: 1, 8192: 1})
+        uniform = Counter({0: 334, 4096: 334, 8192: 334})
+        ((_, skewed_size),) = coverage_curve(skewed, points=(0.8,))
+        ((_, uniform_size),) = coverage_curve(uniform, points=(0.8,))
+        assert skewed_size < uniform_size
+
+    def test_full_coverage_needs_all_pages(self):
+        counts = Counter({i * 4096: 1 for i in range(10)})
+        ((_, size),) = coverage_curve(counts, points=(1.0,))
+        assert size == 10 * 4096
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            coverage_curve(Counter({0: 1}), points=(0.0,))
+        with pytest.raises(ValueError):
+            coverage_curve(Counter(), points=(0.5,))
+
+    def test_ideal_cache_size_for_coverage(self):
+        trace = materialize(make_workload("web_search", seed=1).requests(5000))
+        size = ideal_cache_size_for_coverage(trace, coverage=0.5)
+        assert size > 0
+
+    def test_scale_out_needs_large_fraction(self):
+        """The Fig. 12 observation: no compact hot set — covering 80% of
+        accesses needs a cache comparable to the touched footprint."""
+        trace = materialize(make_workload("data_serving", seed=1).requests(20_000))
+        counts = access_counts_per_page(trace)
+        total_footprint = len(counts) * 4096
+        size80 = ideal_cache_size_for_coverage(trace, coverage=0.8)
+        assert size80 > 0.2 * total_footprint
+
+
+class TestPredictorAccuracy:
+    def test_breakdown(self):
+        breakdown = predictor_accuracy(
+            "web_search", capacity_mb=64, num_requests=60_000
+        )
+        assert isinstance(breakdown, AccuracyBreakdown)
+        assert breakdown.coverage + breakdown.underprediction == pytest.approx(1.0)
+        assert breakdown.overprediction >= 0
+        row = breakdown.as_row()
+        assert set(row) == {"Covered", "Underpredictions", "Overpredictions"}
+
+
+class TestReport:
+    def test_percent(self):
+        assert percent(0.57) == "57.0%"
+        assert percent(0.1234, digits=2) == "12.34%"
+
+    def test_format_table(self):
+        text = format_table(("a", "bb"), [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(("x",), [(1,)], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_stacked_bar_rows(self):
+        rows = stacked_bar_rows(
+            {"page": {"64MB": 0.18}, "block": {"64MB": 0.62}}, columns=["64MB"]
+        )
+        assert rows[0] == ["page", "18.0%"]
+        assert rows[1] == ["block", "62.0%"]

@@ -1,0 +1,122 @@
+"""Unit and property tests for the Table 2 block-state encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.block_state import BlockState, PageBlockBits
+
+
+class TestBlockState:
+    def test_table2_encoding(self):
+        assert BlockState.NOT_PRESENT.value == (0, 0)
+        assert BlockState.PREFETCHED.value == (0, 1)
+        assert BlockState.DEMANDED_CLEAN.value == (1, 0)
+        assert BlockState.DEMANDED_DIRTY.value == (1, 1)
+
+    def test_presence(self):
+        assert not BlockState.NOT_PRESENT.is_present
+        assert BlockState.PREFETCHED.is_present
+        assert BlockState.DEMANDED_CLEAN.is_present
+        assert BlockState.DEMANDED_DIRTY.is_present
+
+    def test_demanded_is_high_bit(self):
+        assert not BlockState.NOT_PRESENT.is_demanded
+        assert not BlockState.PREFETCHED.is_demanded
+        assert BlockState.DEMANDED_CLEAN.is_demanded
+        assert BlockState.DEMANDED_DIRTY.is_demanded
+
+    def test_dirty_only_when_demanded(self):
+        assert BlockState.DEMANDED_DIRTY.is_dirty
+        assert not BlockState.DEMANDED_CLEAN.is_dirty
+        assert not BlockState.PREFETCHED.is_dirty
+
+
+class TestPageBlockBits:
+    def test_initially_not_present(self):
+        bits = PageBlockBits(32)
+        for i in range(32):
+            assert bits.state_of(i) is BlockState.NOT_PRESENT
+
+    def test_install_prefetched(self):
+        bits = PageBlockBits(32)
+        bits.install_prefetched(0b1010)
+        assert bits.state_of(1) is BlockState.PREFETCHED
+        assert bits.state_of(3) is BlockState.PREFETCHED
+        assert bits.state_of(0) is BlockState.NOT_PRESENT
+
+    def test_demand_clean(self):
+        bits = PageBlockBits(32)
+        bits.install_prefetched(0b10)
+        bits.mark_demanded(1, dirty=False)
+        assert bits.state_of(1) is BlockState.DEMANDED_CLEAN
+
+    def test_demand_dirty(self):
+        bits = PageBlockBits(32)
+        bits.mark_demanded(4, dirty=True)
+        assert bits.state_of(4) is BlockState.DEMANDED_DIRTY
+
+    def test_dirty_sticky_across_clean_redemand(self):
+        bits = PageBlockBits(32)
+        bits.mark_demanded(2, dirty=True)
+        bits.mark_demanded(2, dirty=False)
+        assert bits.state_of(2) is BlockState.DEMANDED_DIRTY
+
+    def test_set_state_roundtrip(self):
+        bits = PageBlockBits(32)
+        for state in BlockState:
+            bits.set_state(7, state)
+            assert bits.state_of(7) is state
+
+    def test_masks(self):
+        bits = PageBlockBits(32)
+        bits.install_prefetched(0b111)
+        bits.mark_demanded(0, dirty=False)
+        bits.mark_demanded(1, dirty=True)
+        assert bits.present_mask == 0b111
+        assert bits.demanded_mask == 0b011
+        assert bits.dirty_mask == 0b010
+        assert bits.prefetched_unused_mask == 0b100
+
+    def test_counts(self):
+        bits = PageBlockBits(32)
+        bits.install_prefetched(0b1111)
+        bits.mark_demanded(0, dirty=True)
+        bits.mark_demanded(1, dirty=False)
+        assert bits.count_present() == 4
+        assert bits.count_demanded() == 2
+        assert bits.count_dirty() == 1
+
+    def test_out_of_range_rejected(self):
+        bits = PageBlockBits(32)
+        with pytest.raises(IndexError):
+            bits.state_of(32)
+        with pytest.raises(IndexError):
+            bits.mark_demanded(-1, dirty=False)
+
+    def test_bad_mask_rejected(self):
+        bits = PageBlockBits(4)
+        with pytest.raises(ValueError):
+            bits.install_prefetched(1 << 4)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PageBlockBits(0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 31), st.booleans()),
+        max_size=100,
+    ),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_invariants_hold_under_any_sequence(demands, prefetch_mask):
+    """Table 2 invariants: dirty => demanded => present; footprint = D bit."""
+    bits = PageBlockBits(32)
+    bits.install_prefetched(prefetch_mask)
+    for index, dirty in demands:
+        bits.mark_demanded(index, dirty)
+    assert bits.dirty_mask & ~bits.demanded_mask == 0
+    assert bits.demanded_mask & ~bits.present_mask == 0
+    demanded_indices = {i for i, _ in demands}
+    assert bits.demanded_mask == sum(1 << i for i in demanded_indices)

@@ -1,0 +1,55 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "web_search"
+        assert args.design == "footprint"
+        assert args.capacity == 256
+        assert args.scale == 256
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "bogus"])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--design", "bogus"])
+
+
+class TestMain:
+    def test_runs_footprint(self, capsys):
+        code = main(
+            ["--workload", "web_search", "--design", "footprint",
+             "--capacity", "128", "--requests", "6000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "predictor coverage" in out
+
+    def test_runs_baseline_comparison(self, capsys):
+        code = main(
+            ["--workload", "mapreduce", "--design", "page",
+             "--capacity", "64", "--requests", "6000", "--baseline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement over baseline" in out
+
+    def test_no_singleton_flag(self, capsys):
+        code = main(
+            ["--design", "footprint", "--capacity", "64",
+             "--requests", "6000", "--no-singleton"]
+        )
+        assert code == 0
+
+    def test_non_footprint_has_no_predictor_rows(self, capsys):
+        main(["--design", "block", "--capacity", "64", "--requests", "6000"])
+        out = capsys.readouterr().out
+        assert "predictor coverage" not in out

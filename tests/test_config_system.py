@@ -1,0 +1,160 @@
+"""Unit tests for configuration and system construction."""
+
+import dataclasses
+
+import pytest
+
+from repro.caches.base import BaselineMemory
+from repro.caches.block_cache import BlockBasedCache
+from repro.caches.chop_cache import ChopCache
+from repro.caches.ideal_cache import IdealCache
+from repro.caches.page_cache import PageBasedCache
+from repro.caches.subblock_cache import SubBlockedCache
+from repro.core.footprint_cache import FootprintCache
+from repro.dram.bank import RowBufferPolicy
+from repro.sim.config import DESIGNS, CacheConfig, SimulationConfig, SystemConfig
+from repro.sim.system import build_system
+
+MB = 1024 * 1024
+
+
+class TestSystemConfig:
+    def test_table3_defaults(self):
+        config = SystemConfig()
+        assert config.num_cores == 16
+        assert config.cpu_mhz == 3000
+        assert config.offchip_channels == 1
+        assert config.stacked_channels == 4
+        assert config.dram_row_bytes == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            SystemConfig(base_cpi=0)
+        with pytest.raises(ValueError):
+            SystemConfig(exposed_latency_fraction=0)
+        with pytest.raises(ValueError):
+            SystemConfig(stacked_channels=-1)
+
+
+class TestCacheConfig:
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(design="magic")
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(page_size=3000)
+
+    def test_tag_latency_derived_from_table4(self):
+        config = CacheConfig(design="footprint", capacity_bytes=256 * MB)
+        assert config.resolved_tag_latency() == 9
+
+    def test_tag_latency_override(self):
+        config = CacheConfig(design="footprint", tag_latency=5)
+        assert config.resolved_tag_latency() == 5
+
+
+class TestSimulationConfig:
+    def test_warmup_requests(self):
+        config = SimulationConfig(num_requests=1000, warmup_fraction=0.25)
+        assert config.warmup_requests == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(dataset_scale=0)
+
+    def test_scaled_divides_capacity(self):
+        config = SimulationConfig.scaled("web_search", "footprint", 256, scale=256)
+        assert config.cache.capacity_bytes == MB
+
+    def test_scaled_uses_paper_tag_latency(self):
+        config = SimulationConfig.scaled("web_search", "footprint", 512, scale=256)
+        assert config.cache.tag_latency == 11
+
+    def test_scaled_missmap_proportional(self):
+        config = SimulationConfig.scaled("web_search", "block", 256, scale=256)
+        assert config.cache.missmap_entries == 192 * 1024 // 256
+
+    def test_scaled_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.scaled("web_search", "footprint", 256, scale=0)
+
+    def test_full_scale(self):
+        config = SimulationConfig.full_scale("web_search", "page", 64)
+        assert config.cache.capacity_bytes == 64 * MB
+        assert config.dataset_scale == 64.0
+
+
+class TestBuildSystem:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_every_design_buildable(self, design):
+        config = SimulationConfig.scaled("web_search", design, 256, scale=256)
+        system = build_system(config)
+        expected = {
+            "baseline": BaselineMemory,
+            "block": BlockBasedCache,
+            "page": PageBasedCache,
+            "footprint": FootprintCache,
+            "subblock": SubBlockedCache,
+            "chop": ChopCache,
+            "ideal": IdealCache,
+        }[design]
+        assert isinstance(system.cache, expected)
+
+    def test_baseline_has_no_stacked_dram(self):
+        config = SimulationConfig.scaled("web_search", "baseline", 256, scale=256)
+        assert build_system(config).stacked is None
+
+    def test_block_design_uses_close_page(self):
+        config = SimulationConfig.scaled("web_search", "block", 256, scale=256)
+        system = build_system(config)
+        assert system.stacked.policy is RowBufferPolicy.CLOSE_PAGE
+        assert system.offchip.policy is RowBufferPolicy.CLOSE_PAGE
+
+    def test_page_designs_use_open_page(self):
+        for design in ("page", "footprint", "subblock"):
+            config = SimulationConfig.scaled("web_search", design, 256, scale=256)
+            system = build_system(config)
+            assert system.stacked.policy is RowBufferPolicy.OPEN_PAGE
+            assert system.offchip.policy is RowBufferPolicy.OPEN_PAGE
+
+    def test_page_interleaving_for_page_designs(self):
+        config = SimulationConfig.scaled("web_search", "footprint", 256, scale=256)
+        system = build_system(config)
+        assert system.offchip.mapping.interleave_bytes == 2048
+
+    def test_block_interleaving_for_block_design(self):
+        config = SimulationConfig.scaled("web_search", "block", 256, scale=256)
+        system = build_system(config)
+        assert system.offchip.mapping.interleave_bytes == 64
+
+    def test_footprint_wiring(self):
+        config = SimulationConfig.scaled(
+            "web_search", "footprint", 256, scale=256, fht_entries=1024
+        )
+        system = build_system(config)
+        assert system.cache.fht.num_entries == 1024
+        assert system.cache.singleton_table is not None
+
+    def test_footprint_singleton_disabled(self):
+        config = SimulationConfig.scaled(
+            "web_search", "footprint", 256, scale=256, singleton_optimization=False
+        )
+        system = build_system(config)
+        assert system.cache.singleton_table is None
+
+    def test_reset_stats_cascades(self):
+        config = SimulationConfig.scaled("web_search", "footprint", 256, scale=256)
+        system = build_system(config)
+        for i, request in enumerate(system.workload.requests(200)):
+            system.cache.access(request, i * 10)
+        system.reset_stats()
+        assert system.cache.accesses == 0
+        assert system.offchip.total_bytes == 0
+        assert system.stacked.total_bytes == 0

@@ -1,0 +1,151 @@
+"""Unit tests for the memory controller (timing + traffic + energy)."""
+
+import pytest
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.bank import RowBufferPolicy
+from repro.dram.controller import AccessOutcome, MemoryController
+from repro.dram.timing import OFF_CHIP_DDR3_1600, STACKED_DDR3_3200
+
+
+def make_controller(policy=RowBufferPolicy.OPEN_PAGE, channels=1, interleave=2048):
+    return MemoryController(
+        timing=OFF_CHIP_DDR3_1600,
+        mapping=AddressMapping(
+            channels=channels, banks_per_channel=8, row_bytes=2048, interleave_bytes=interleave
+        ),
+        policy=policy,
+    )
+
+
+class TestBasicAccess:
+    def test_first_access_row_closed(self):
+        controller = make_controller()
+        result = controller.access(0, 64, False, now=0)
+        assert result.outcome is AccessOutcome.ROW_CLOSED
+        assert result.queue_cycles == 0
+        assert result.latency > 0
+
+    def test_row_hit_faster_than_conflict(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        hit = controller.access(64, 64, False, 10_000)
+        assert hit.outcome is AccessOutcome.ROW_HIT
+        # Another row in the same bank: stride past all channels/banks/rows.
+        conflict = controller.access(8 * 2048, 64, False, 20_000)
+        assert conflict.outcome is AccessOutcome.ROW_CONFLICT
+        assert hit.latency < conflict.latency
+
+    def test_invalid_arguments(self):
+        controller = make_controller()
+        with pytest.raises(ValueError):
+            controller.access(0, 0, False, 0)
+        with pytest.raises(ValueError):
+            controller.access(0, 64, False, -5)
+
+
+class TestQueueing:
+    def test_back_to_back_accesses_serialise(self):
+        controller = make_controller()
+        first = controller.access(0, 2048, False, 0)
+        second = controller.access(0, 2048, False, 0)
+        assert second.start_cycle >= first.finish_cycle
+        assert second.queue_cycles > 0
+
+    def test_different_banks_do_not_serialise(self):
+        controller = make_controller()
+        first = controller.access(0, 2048, False, 0)
+        # Next page maps to another bank (1 channel -> bank rotation).
+        second = controller.access(2048, 2048, False, 0)
+        assert second.queue_cycles == 0
+        assert first.queue_cycles == 0
+
+
+class TestTraffic:
+    def test_bytes_accounted(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        controller.access(0, 128, True, 0)
+        assert controller.bytes_read == 64
+        assert controller.bytes_written == 128
+        assert controller.total_bytes == 192
+
+    def test_access_count_and_row_hits(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        controller.access(64, 64, False, 0)
+        assert controller.access_count == 2
+        assert controller.row_hit_count == 1
+        assert controller.row_hit_ratio == pytest.approx(0.5)
+
+    def test_row_hit_ratio_empty(self):
+        assert make_controller().row_hit_ratio == 0.0
+
+
+class TestEnergy:
+    def test_read_energy_accumulates(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        assert controller.energy.read_nj > 0
+        assert controller.energy.write_nj == 0
+
+    def test_row_hits_burn_no_activate_energy(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        before = controller.energy.activate_precharge_nj
+        controller.access(64, 64, False, 0)
+        assert controller.energy.activate_precharge_nj == before
+
+    def test_close_page_burns_activate_every_access(self):
+        controller = make_controller(policy=RowBufferPolicy.CLOSE_PAGE)
+        controller.access(0, 64, False, 0)
+        first = controller.energy.activate_precharge_nj
+        controller.access(0, 64, False, 0)
+        assert controller.energy.activate_precharge_nj == pytest.approx(2 * first)
+
+
+class TestUtilization:
+    def test_utilization_bounded(self):
+        controller = make_controller()
+        for i in range(50):
+            controller.access(i * 64, 64, False, 0)
+        assert 0.0 < controller.utilization(10_000) <= 1.0
+
+    def test_utilization_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            make_controller().utilization(0)
+
+    def test_peak_bandwidth(self):
+        # DDR3-1600 x64: 12.8GB/s = 4.266B per 3GHz CPU cycle.
+        controller = make_controller()
+        assert controller.peak_bandwidth_bytes_per_cycle() == pytest.approx(4.266, rel=1e-3)
+
+    def test_stacked_peak_bandwidth_is_16x(self):
+        # Four 128-bit DDR3-3200 channels vs one 64-bit DDR3-1600 channel:
+        # 2 (width) x 2 (rate) x 4 (channels) = 16x per pod.
+        stacked = MemoryController(
+            timing=STACKED_DDR3_3200,
+            mapping=AddressMapping(
+                channels=4, banks_per_channel=8, row_bytes=2048, interleave_bytes=2048
+            ),
+        )
+        offchip = make_controller()
+        ratio = stacked.peak_bandwidth_bytes_per_cycle() / offchip.peak_bandwidth_bytes_per_cycle()
+        assert ratio == pytest.approx(16.0)
+
+
+class TestReset:
+    def test_reset_stats(self):
+        controller = make_controller()
+        controller.access(0, 64, True, 0)
+        controller.reset_stats()
+        assert controller.access_count == 0
+        assert controller.total_bytes == 0
+        assert controller.energy.total_nj == 0.0
+
+    def test_reset_keeps_row_state(self):
+        controller = make_controller()
+        controller.access(0, 64, False, 0)
+        controller.reset_stats()
+        result = controller.access(64, 64, False, 10_000)
+        assert result.outcome is AccessOutcome.ROW_HIT

@@ -1,0 +1,75 @@
+"""Unit tests for the DRAM energy model."""
+
+import pytest
+
+from repro.dram.energy import DramEnergyCounters, DramEnergyModel
+
+
+class TestModel:
+    def test_defaults_non_negative(self):
+        model = DramEnergyModel()
+        assert model.activate_precharge_nj >= 0
+        assert model.read_burst_nj_per_64b >= 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DramEnergyModel(activate_precharge_nj=-1)
+
+    def test_stacked_io_cheaper_than_offchip(self):
+        assert (
+            DramEnergyModel.stacked().read_burst_nj_per_64b
+            < DramEnergyModel.off_chip().read_burst_nj_per_64b
+        )
+
+    def test_same_core_array_energy(self):
+        assert (
+            DramEnergyModel.stacked().activate_precharge_nj
+            == DramEnergyModel.off_chip().activate_precharge_nj
+        )
+
+
+class TestCounters:
+    def test_activate_energy(self):
+        counters = DramEnergyCounters()
+        counters.record_row_operations(activates=2, precharges=2)
+        assert counters.activate_precharge_nj == pytest.approx(40.0)
+
+    def test_precharges_not_double_counted(self):
+        counters = DramEnergyCounters()
+        counters.record_row_operations(activates=1, precharges=0)
+        only_activate = counters.activate_precharge_nj
+        counters.record_row_operations(activates=0, precharges=1)
+        assert counters.activate_precharge_nj == only_activate
+
+    def test_read_write_split(self):
+        counters = DramEnergyCounters()
+        counters.record_read(128)
+        counters.record_write(64)
+        assert counters.read_nj == pytest.approx(13.0)
+        assert counters.write_nj == pytest.approx(7.0)
+        assert counters.burst_nj == pytest.approx(20.0)
+
+    def test_total(self):
+        counters = DramEnergyCounters()
+        counters.record_row_operations(1, 1)
+        counters.record_read(64)
+        assert counters.total_nj == pytest.approx(26.5)
+
+    def test_negative_rejected(self):
+        counters = DramEnergyCounters()
+        with pytest.raises(ValueError):
+            counters.record_read(-1)
+        with pytest.raises(ValueError):
+            counters.record_row_operations(-1, 0)
+
+    def test_reset(self):
+        counters = DramEnergyCounters()
+        counters.record_read(64)
+        counters.record_row_operations(1, 1)
+        counters.reset()
+        assert counters.total_nj == 0.0
+
+    def test_partial_block_prorated(self):
+        counters = DramEnergyCounters()
+        counters.record_read(32)
+        assert counters.read_nj == pytest.approx(6.5 / 2)

@@ -1,0 +1,176 @@
+"""Integration tests: the paper's qualitative results, end to end.
+
+These replay moderate traces through full systems and assert the
+*relationships* the paper reports — who wins, in which regime — rather
+than absolute numbers.
+"""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator, quick_run
+
+N = 120_000
+
+
+def run(workload, design, capacity_mb=256, seed=0, **kwargs):
+    return quick_run(
+        workload, design=design, capacity_mb=capacity_mb,
+        num_requests=N, seed=seed, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def web_search_results():
+    return {
+        design: run("web_search", design)
+        for design in ("baseline", "block", "page", "footprint", "subblock", "ideal")
+    }
+
+
+class TestFig5Relationships:
+    def test_miss_ratio_ordering(self, web_search_results):
+        """Fig. 5a: page <= footprint << block."""
+        r = web_search_results
+        assert r["page"].miss_ratio <= r["footprint"].miss_ratio + 0.03
+        assert r["footprint"].miss_ratio < r["block"].miss_ratio / 2
+
+    def test_traffic_ordering(self, web_search_results):
+        """Fig. 5b: block <= footprint << page."""
+        r = web_search_results
+        assert r["footprint"].offchip_traffic_normalized < 2 * max(
+            0.5, r["block"].offchip_traffic_normalized
+        )
+        assert (
+            r["page"].offchip_traffic_normalized
+            > 1.5 * r["footprint"].offchip_traffic_normalized
+        )
+
+    def test_footprint_beats_page_traffic_substantially(self):
+        """Headline: ~2.6x off-chip traffic reduction vs page-based."""
+        ratios = []
+        for workload in ("data_serving", "mapreduce", "web_frontend"):
+            page = run(workload, "page")
+            footprint = run(workload, "footprint")
+            ratios.append(
+                page.offchip_traffic_normalized / footprint.offchip_traffic_normalized
+            )
+        assert sum(ratios) / len(ratios) > 1.8
+
+    def test_footprint_beats_block_hit_ratio_substantially(self):
+        """Headline: ~4.7x higher hit ratio than block-based."""
+        ratios = []
+        for workload in ("data_serving", "web_search", "web_frontend"):
+            block = run(workload, "block")
+            footprint = run(workload, "footprint")
+            ratios.append(footprint.hit_ratio / max(block.hit_ratio, 1e-6))
+        assert sum(ratios) / len(ratios) > 3.0
+
+
+class TestFig6Relationships:
+    def test_footprint_beats_baseline(self, web_search_results):
+        r = web_search_results
+        assert r["footprint"].improvement_over(r["baseline"]) > 0.3
+
+    def test_footprint_beats_block_and_page(self, web_search_results):
+        r = web_search_results
+        assert r["footprint"].aggregate_ipc >= 0.98 * r["page"].aggregate_ipc
+        assert r["footprint"].aggregate_ipc > r["block"].aggregate_ipc
+
+    def test_ideal_is_upper_bound(self, web_search_results):
+        r = web_search_results
+        for design in ("baseline", "block", "page", "footprint"):
+            assert r[design].aggregate_ipc <= r["ideal"].aggregate_ipc * 1.02
+
+    def test_footprint_achieves_most_of_ideal(self, web_search_results):
+        """Section 6.3: Footprint Cache delivers ~82% of Ideal."""
+        r = web_search_results
+        assert r["footprint"].aggregate_ipc > 0.7 * r["ideal"].aggregate_ipc
+
+    def test_page_design_struggles_at_small_capacity(self):
+        """Fig. 6: page-based loses to baseline at 64MB for some workloads."""
+        baseline = run("sat_solver", "baseline", capacity_mb=64)
+        page = run("sat_solver", "page", capacity_mb=64)
+        footprint = run("sat_solver", "footprint", capacity_mb=64)
+        assert page.improvement_over(baseline) < 0.1
+        assert footprint.improvement_over(baseline) > page.improvement_over(baseline)
+
+
+class TestPredictorQuality:
+    def test_low_overprediction(self):
+        """Section 3.1: overpredictions waste bandwidth; ours stay low."""
+        result = run("web_search", "footprint")
+        assert result.predictor_overprediction < 0.15
+
+    def test_sat_solver_harder_to_predict(self):
+        """Section 6.2: SAT Solver's mutating dataset hurts coverage."""
+        sat = run("sat_solver", "footprint")
+        search = run("web_search", "footprint")
+        assert sat.predictor_coverage < search.predictor_coverage
+
+    def test_footprint_traffic_near_subblock(self, web_search_results):
+        """Sub-blocked fetches exactly the demand; footprint should not
+        fetch much more (low overprediction), yet hit far more often."""
+        r = web_search_results
+        assert (
+            r["footprint"].offchip_traffic_normalized
+            < 1.6 * r["subblock"].offchip_traffic_normalized
+        )
+        assert r["footprint"].hit_ratio > 2 * r["subblock"].hit_ratio
+
+
+class TestSingletonOptimization:
+    def test_singleton_bypass_reduces_misses(self):
+        """Section 6.5: not caching singletons cuts the miss rate at small
+        capacities (~10% in the paper)."""
+        with_opt = run("mapreduce", "footprint", capacity_mb=64)
+        without_opt = run(
+            "mapreduce", "footprint", capacity_mb=64, singleton_optimization=False
+        )
+        assert with_opt.miss_ratio <= without_opt.miss_ratio * 1.02
+
+    def test_bypass_ratio_nonzero_for_singleton_heavy(self):
+        result = run("mapreduce", "footprint", capacity_mb=64)
+        assert result.bypass_ratio > 0.02
+
+
+class TestEnergyRelationships:
+    def test_all_caches_cut_offchip_energy(self):
+        """Fig. 10: every design reduces off-chip energy per instruction."""
+        baseline = run("web_frontend", "baseline")
+        for design in ("block", "page", "footprint"):
+            result = run("web_frontend", design)
+            assert (
+                result.offchip_energy_per_instruction()
+                < baseline.offchip_energy_per_instruction()
+            )
+
+    def test_footprint_lowest_offchip_energy(self):
+        """Fig. 10: Footprint Cache burns the least off-chip energy."""
+        results = {d: run("web_search", d) for d in ("block", "page", "footprint")}
+        footprint = results["footprint"].offchip_energy_per_instruction()
+        assert footprint <= results["page"].offchip_energy_per_instruction()
+        assert footprint <= results["block"].offchip_energy_per_instruction() * 1.1
+
+    def test_page_burns_most_burst_energy(self):
+        """Fig. 10: the page design's overfetch shows up as burst energy."""
+        page = run("data_serving", "page")
+        footprint = run("data_serving", "footprint")
+        instructions_page = max(1, page.performance.instructions)
+        instructions_fp = max(1, footprint.performance.instructions)
+        assert (
+            page.offchip_read_write_nj / instructions_page
+            > footprint.offchip_read_write_nj / instructions_fp
+        )
+
+    def test_block_design_activate_heavy(self):
+        """Fig. 10/11: close-page block design is activate/precharge bound."""
+        block = run("web_search", "block")
+        assert block.offchip_activate_nj > block.offchip_read_write_nj
+
+
+class TestDramLocality:
+    def test_page_designs_have_high_offchip_row_hits(self):
+        page = run("web_search", "page")
+        block = run("web_search", "block")
+        assert page.offchip_row_hit_ratio >= block.offchip_row_hit_ratio

@@ -1,0 +1,87 @@
+"""Unit tests for the MissMap presence filter."""
+
+import pytest
+
+from repro.caches.missmap import MissMap
+
+
+def small_missmap(entries=48, assoc=24):
+    return MissMap(num_entries=entries, associativity=assoc)
+
+
+class TestBasics:
+    def test_initially_absent(self):
+        assert not small_missmap().is_present(0)
+
+    def test_mark_present(self):
+        missmap = small_missmap()
+        missmap.mark_present(64)
+        assert missmap.is_present(64)
+        assert not missmap.is_present(128)
+
+    def test_blocks_share_segment_entry(self):
+        missmap = small_missmap()
+        missmap.mark_present(0)
+        missmap.mark_present(64)
+        assert missmap.tracked_segments == 1
+
+    def test_different_segments_different_entries(self):
+        missmap = small_missmap()
+        missmap.mark_present(0)
+        missmap.mark_present(4096)
+        assert missmap.tracked_segments == 2
+
+    def test_mark_absent(self):
+        missmap = small_missmap()
+        missmap.mark_present(64)
+        missmap.mark_absent(64)
+        assert not missmap.is_present(64)
+
+    def test_mark_absent_untracked_is_noop(self):
+        small_missmap().mark_absent(64)
+
+    def test_entry_freed_when_empty(self):
+        missmap = small_missmap()
+        missmap.mark_present(0)
+        missmap.mark_absent(0)
+        assert missmap.tracked_segments == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MissMap(num_entries=10, associativity=24)
+        with pytest.raises(ValueError):
+            MissMap(num_entries=24, associativity=24, segment_bytes=100)
+
+
+class TestForcedEvictions:
+    def test_capacity_eviction_returns_lost_blocks(self):
+        # 2 sets x 1 way: segments alternate sets by address.
+        missmap = MissMap(num_entries=2, associativity=1)
+        missmap.mark_present(0)
+        missmap.mark_present(64)
+        # Same set as segment 0 (stride 2 segments), forces eviction.
+        lost = missmap.mark_present(2 * 4096)
+        assert sorted(lost) == [0, 64]
+        assert missmap.forced_eviction_count == 1
+
+    def test_lost_blocks_reported_absent(self):
+        missmap = MissMap(num_entries=2, associativity=1)
+        missmap.mark_present(0)
+        missmap.mark_present(2 * 4096)
+        assert not missmap.is_present(0)
+
+    def test_no_eviction_when_room(self):
+        missmap = small_missmap()
+        assert missmap.mark_present(0) == []
+        assert missmap.forced_eviction_count == 0
+
+
+class TestStorage:
+    def test_paper_missmap_storage_close_to_2mb(self):
+        # 192K entries: the paper reports 1.95MB.
+        missmap = MissMap(num_entries=192 * 1024, associativity=24)
+        assert missmap.storage_bytes() == pytest.approx(1.95 * 1024 * 1024, rel=0.15)
+
+    def test_512mb_missmap_storage(self):
+        missmap = MissMap(num_entries=288 * 1024, associativity=36)
+        assert missmap.storage_bytes() == pytest.approx(2.92 * 1024 * 1024, rel=0.15)

@@ -1,0 +1,96 @@
+"""Unit tests for the analytic performance model."""
+
+import pytest
+
+from repro.perf.timing_model import PerformanceModel, PerformanceResult
+
+
+class TestPerformanceResult:
+    def test_aggregate_ipc(self):
+        result = PerformanceResult(instructions=3000, elapsed_cycles=1000, num_cores=16)
+        assert result.aggregate_ipc == pytest.approx(3.0)
+
+    def test_zero_cycles(self):
+        result = PerformanceResult(instructions=100, elapsed_cycles=0, num_cores=16)
+        assert result.aggregate_ipc == 0.0
+
+    def test_improvement_over(self):
+        fast = PerformanceResult(instructions=2000, elapsed_cycles=1000, num_cores=16)
+        slow = PerformanceResult(instructions=1000, elapsed_cycles=1000, num_cores=16)
+        assert fast.improvement_over(slow) == pytest.approx(1.0)
+
+    def test_improvement_over_zero_baseline_raises(self):
+        fast = PerformanceResult(instructions=2000, elapsed_cycles=1000, num_cores=16)
+        zero = PerformanceResult(instructions=0, elapsed_cycles=1000, num_cores=16)
+        with pytest.raises(ValueError):
+            fast.improvement_over(zero)
+
+
+class TestPerformanceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(num_cores=0)
+        with pytest.raises(ValueError):
+            PerformanceModel(base_cpi=0)
+        with pytest.raises(ValueError):
+            PerformanceModel(exposed_latency_fraction=1.5)
+
+    def test_core_time_advances(self):
+        model = PerformanceModel(num_cores=2, base_cpi=1.0, exposed_latency_fraction=1.0)
+        assert model.core_now(0) == 0
+        model.advance(0, instructions=100, memory_latency=50)
+        assert model.core_now(0) == 150
+        assert model.core_now(1) == 0
+
+    def test_exposed_fraction_scales_stall(self):
+        full = PerformanceModel(num_cores=1, base_cpi=1.0, exposed_latency_fraction=1.0)
+        half = PerformanceModel(num_cores=1, base_cpi=1.0, exposed_latency_fraction=0.5)
+        full.advance(0, 0, 100)
+        half.advance(0, 0, 100)
+        assert full.core_now(0) == 100
+        assert half.core_now(0) == 50
+
+    def test_negative_rejected(self):
+        model = PerformanceModel()
+        with pytest.raises(ValueError):
+            model.advance(0, -1, 0)
+        with pytest.raises(ValueError):
+            model.advance(0, 0, -1)
+
+    def test_result_measures_after_start(self):
+        model = PerformanceModel(num_cores=1, base_cpi=1.0, exposed_latency_fraction=1.0)
+        model.advance(0, 1000, 0)
+        model.start_measurement()
+        model.advance(0, 500, 500)
+        result = model.result()
+        assert result.instructions == 500
+        assert result.elapsed_cycles == 1000
+        assert result.aggregate_ipc == pytest.approx(0.5)
+
+    def test_elapsed_uses_slowest_core(self):
+        model = PerformanceModel(num_cores=2, base_cpi=1.0, exposed_latency_fraction=1.0)
+        model.start_measurement()
+        model.advance(0, 100, 0)
+        model.advance(1, 300, 0)
+        assert model.result().elapsed_cycles == 300
+
+    def test_core_id_wraps(self):
+        model = PerformanceModel(num_cores=4)
+        model.advance(6, 100, 0)  # lands on core 2
+        assert model.core_now(2) > 0
+
+    def test_total_instructions(self):
+        model = PerformanceModel()
+        model.advance(0, 10, 0)
+        model.advance(1, 20, 0)
+        assert model.total_instructions == 30
+
+    def test_faster_memory_means_higher_ipc(self):
+        def run(latency):
+            model = PerformanceModel(num_cores=1, base_cpi=0.5, exposed_latency_fraction=0.7)
+            model.start_measurement()
+            for _ in range(100):
+                model.advance(0, 100, latency)
+            return model.result().aggregate_ipc
+
+        assert run(50) > run(500)

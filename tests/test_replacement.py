@@ -1,0 +1,140 @@
+"""Unit and property tests for replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches.replacement import LruPolicy, RandomPolicy, make_policy
+
+
+class TestLru:
+    def test_victim_is_oldest(self):
+        policy = LruPolicy()
+        policy.on_insert("a")
+        policy.on_insert("b")
+        assert policy.victim() == "a"
+
+    def test_access_refreshes(self):
+        policy = LruPolicy()
+        policy.on_insert("a")
+        policy.on_insert("b")
+        policy.on_access("a")
+        assert policy.victim() == "b"
+
+    def test_evict_removes(self):
+        policy = LruPolicy()
+        policy.on_insert("a")
+        policy.on_evict("a")
+        assert len(policy) == 0
+
+    def test_victim_empty_raises(self):
+        with pytest.raises(LookupError):
+            LruPolicy().victim()
+
+    def test_access_missing_raises(self):
+        with pytest.raises(KeyError):
+            LruPolicy().on_access("x")
+
+    def test_double_insert_raises(self):
+        policy = LruPolicy()
+        policy.on_insert("a")
+        with pytest.raises(KeyError):
+            policy.on_insert("a")
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(KeyError):
+            LruPolicy().on_evict("x")
+
+    def test_lru_sequence(self):
+        policy = LruPolicy()
+        for key in "abcd":
+            policy.on_insert(key)
+        policy.on_access("b")
+        policy.on_access("a")
+        victims = []
+        for _ in range(4):
+            victim = policy.victim()
+            victims.append(victim)
+            policy.on_evict(victim)
+        assert victims == ["c", "d", "b", "a"]
+
+
+class TestRandom:
+    def test_victim_is_resident(self):
+        policy = RandomPolicy(seed=1)
+        for key in range(10):
+            policy.on_insert(key)
+        assert policy.victim() in range(10)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            policy = RandomPolicy(seed=seed)
+            for key in range(10):
+                policy.on_insert(key)
+            return [policy.victim() for _ in range(5)]
+
+        assert run(7) == run(7)
+
+    def test_evict_swaps_correctly(self):
+        policy = RandomPolicy(seed=0)
+        for key in range(5):
+            policy.on_insert(key)
+        policy.on_evict(2)
+        assert len(policy) == 4
+        for _ in range(20):
+            assert policy.victim() != 2
+
+    def test_errors(self):
+        policy = RandomPolicy()
+        with pytest.raises(LookupError):
+            policy.victim()
+        with pytest.raises(KeyError):
+            policy.on_access("x")
+        policy.on_insert("a")
+        with pytest.raises(KeyError):
+            policy.on_insert("a")
+        with pytest.raises(KeyError):
+            policy.on_evict("b")
+
+
+class TestFactory:
+    def test_make_lru(self):
+        assert isinstance(make_policy("lru"), LruPolicy)
+
+    def test_make_random(self):
+        assert isinstance(make_policy("random"), RandomPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "access", "evict_victim"]), st.integers(0, 20)),
+        max_size=200,
+    )
+)
+def test_lru_model_equivalence(operations):
+    """LRU policy behaves like an ordered-list reference model."""
+    policy = LruPolicy()
+    model = []  # front = LRU
+    for op, key in operations:
+        if op == "insert":
+            if key in model:
+                continue
+            policy.on_insert(key)
+            model.append(key)
+        elif op == "access":
+            if key not in model:
+                continue
+            policy.on_access(key)
+            model.remove(key)
+            model.append(key)
+        else:
+            if not model:
+                continue
+            victim = policy.victim()
+            assert victim == model[0]
+            policy.on_evict(victim)
+            model.pop(0)
+    assert len(policy) == len(model)

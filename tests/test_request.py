@@ -1,0 +1,106 @@
+"""Unit tests for memory request types and address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.request import (
+    BLOCK_SIZE,
+    AccessType,
+    MemoryRequest,
+    block_address,
+    page_address,
+    page_offset,
+)
+
+
+class TestAccessType:
+    def test_read_is_not_write(self):
+        assert not AccessType.READ.is_write
+
+    def test_write_is_write(self):
+        assert AccessType.WRITE.is_write
+
+
+class TestMemoryRequest:
+    def test_default_fields(self):
+        request = MemoryRequest(address=0x1000)
+        assert request.pc == 0
+        assert request.access_type is AccessType.READ
+        assert request.core_id == 0
+        assert request.instruction_count == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=-1)
+
+    def test_negative_instruction_count_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(address=0, instruction_count=-1)
+
+    def test_is_write_mirrors_access_type(self):
+        assert MemoryRequest(address=0, access_type=AccessType.WRITE).is_write
+        assert not MemoryRequest(address=0).is_write
+
+    def test_block_address_rounds_down(self):
+        request = MemoryRequest(address=0x1234)
+        assert request.block_address() == 0x1200
+
+    def test_page_address_rounds_down(self):
+        request = MemoryRequest(address=0x1234)
+        assert request.page_address(2048) == 0x1000
+
+    def test_block_index_in_page(self):
+        request = MemoryRequest(address=2048 + 3 * 64 + 17)
+        assert request.block_index_in_page(2048) == 3
+
+    def test_requests_are_frozen(self):
+        request = MemoryRequest(address=0)
+        with pytest.raises(AttributeError):
+            request.address = 5
+
+
+class TestAddressHelpers:
+    def test_block_address_identity_for_aligned(self):
+        assert block_address(0x4000) == 0x4000
+
+    def test_block_address_custom_size(self):
+        assert block_address(0x1FF, 128) == 0x180
+
+    def test_page_address_zero(self):
+        assert page_address(0, 2048) == 0
+
+    def test_page_offset_first_block(self):
+        assert page_offset(2048, 2048) == 0
+
+    def test_page_offset_last_block(self):
+        assert page_offset(2048 + 2047, 2048) == 31
+
+    @pytest.mark.parametrize("bad", [0, 3, 100, -2])
+    def test_non_power_of_two_page_rejected(self, bad):
+        with pytest.raises(ValueError):
+            page_address(0, bad)
+
+    def test_block_larger_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            page_offset(0, 64, 128)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_block_address_is_aligned_and_below(self, address):
+        base = block_address(address)
+        assert base % BLOCK_SIZE == 0
+        assert base <= address < base + BLOCK_SIZE
+
+    @given(
+        st.integers(min_value=0, max_value=2**48),
+        st.sampled_from([1024, 2048, 4096]),
+    )
+    def test_page_decomposition_roundtrip(self, address, page_size):
+        base = page_address(address, page_size)
+        offset = page_offset(address, page_size)
+        assert base % page_size == 0
+        assert base + offset * BLOCK_SIZE <= address
+        assert address < base + (offset + 1) * BLOCK_SIZE
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_offset_in_range(self, address):
+        assert 0 <= page_offset(address, 2048) < 32

@@ -1,0 +1,103 @@
+"""Unit tests for the trace-driven simulator."""
+
+import pytest
+
+from repro.mem.request import AccessType, MemoryRequest
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SimulationResult, Simulator, quick_run
+
+
+def small_config(design="footprint", **kwargs):
+    return SimulationConfig.scaled(
+        "web_search", design, 256, scale=256, num_requests=8_000, **kwargs
+    )
+
+
+class TestSimulatorRun:
+    def test_returns_result(self):
+        result = Simulator(small_config()).run()
+        assert isinstance(result, SimulationResult)
+        assert result.design == "footprint"
+        assert result.workload == "web_search"
+
+    def test_measured_requests_exclude_warmup(self):
+        result = Simulator(small_config()).run()
+        assert result.requests == 4_000
+
+    def test_miss_ratio_bounds(self):
+        result = Simulator(small_config()).run()
+        assert 0.0 <= result.miss_ratio <= 1.0
+        assert result.hit_ratio == pytest.approx(1.0 - result.miss_ratio)
+
+    def test_ipc_positive(self):
+        result = Simulator(small_config()).run()
+        assert result.aggregate_ipc > 0
+
+    def test_explicit_trace(self):
+        trace = [
+            MemoryRequest(address=i * 64, pc=0x400, core_id=i % 16)
+            for i in range(1000)
+        ]
+        config = small_config()
+        config = SimulationConfig(
+            workload=config.workload, cache=config.cache,
+            num_requests=1000, warmup_fraction=0.5,
+        )
+        result = Simulator(config).run(trace=trace)
+        assert result.requests == 500
+
+    def test_short_trace_degenerate(self):
+        config = small_config()
+        trace = [MemoryRequest(address=0)] * 10
+        result = Simulator(config).run(trace=trace)
+        assert result.requests == 10
+
+    def test_deterministic(self):
+        a = Simulator(small_config(seed=5)).run()
+        b = Simulator(small_config(seed=5)).run()
+        assert a.miss_ratio == b.miss_ratio
+        assert a.aggregate_ipc == b.aggregate_ipc
+        assert a.offchip_bytes == b.offchip_bytes
+
+
+class TestResultProperties:
+    def test_baseline_traffic_normalised_to_one(self):
+        result = Simulator(small_config(design="baseline")).run()
+        assert result.offchip_traffic_normalized == pytest.approx(1.0, rel=0.01)
+
+    def test_ideal_has_no_offchip_traffic(self):
+        result = Simulator(small_config(design="ideal")).run()
+        assert result.offchip_bytes == 0
+        assert result.miss_ratio == 0.0
+
+    def test_predictor_stats_only_for_footprint(self):
+        footprint = Simulator(small_config()).run()
+        page = Simulator(small_config(design="page")).run()
+        assert footprint.predictor_coverage is not None
+        assert page.predictor_coverage is None
+
+    def test_energy_components_non_negative(self):
+        result = Simulator(small_config(design="page")).run()
+        assert result.offchip_activate_nj >= 0
+        assert result.offchip_read_write_nj >= 0
+        assert result.stacked_activate_nj >= 0
+        assert result.offchip_energy_per_instruction() > 0
+
+    def test_improvement_over(self):
+        baseline = Simulator(small_config(design="baseline")).run()
+        ideal = Simulator(small_config(design="ideal")).run()
+        assert ideal.improvement_over(baseline) > 0
+
+
+class TestQuickRun:
+    def test_quick_run_smoke(self):
+        result = quick_run("mapreduce", design="page", capacity_mb=128, num_requests=6000)
+        assert result.design == "page"
+        assert result.capacity_bytes == 128 * 1024 * 1024 // 256
+
+    def test_quick_run_cache_kwargs(self):
+        result = quick_run(
+            "web_search", design="footprint", capacity_mb=128,
+            num_requests=6000, fht_entries=512,
+        )
+        assert 0.0 <= result.miss_ratio <= 1.0

@@ -1,0 +1,52 @@
+"""Unit tests for the Singleton Table."""
+
+import pytest
+
+from repro.core.singleton_table import SingletonEntry, SingletonTable
+
+
+@pytest.fixture
+def st_table():
+    return SingletonTable(num_entries=16, associativity=4)
+
+
+class TestBasics:
+    def test_lookup_missing(self, st_table):
+        assert st_table.lookup(0x1000) is None
+
+    def test_record_and_lookup(self, st_table):
+        st_table.record_bypass(0x1000, pc=0x400, offset=5)
+        entry = st_table.lookup(0x1000)
+        assert entry == SingletonEntry(pc=0x400, offset=5)
+
+    def test_second_access_consumes(self, st_table):
+        st_table.record_bypass(0x1000, pc=0x400, offset=5)
+        entry = st_table.on_second_access(0x1000)
+        assert entry is not None
+        assert st_table.lookup(0x1000) is None
+        assert st_table.second_access_hits == 1
+
+    def test_second_access_missing(self, st_table):
+        assert st_table.on_second_access(0x2000) is None
+        assert st_table.second_access_hits == 0
+
+    def test_capacity_eviction(self):
+        table = SingletonTable(num_entries=2, associativity=1)
+        table.record_bypass(0, pc=1, offset=0)
+        table.record_bypass(2, pc=2, offset=0)  # same set (page % 2 sets)
+        assert table.lookup(0) is None
+        assert table.lookup(2) is not None
+
+    def test_paper_storage_3kb(self):
+        table = SingletonTable(num_entries=512, associativity=8)
+        assert table.storage_bytes() == pytest.approx(3 * 1024, rel=0.1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SingletonTable(num_entries=10, associativity=16)
+
+    def test_recorded_counter(self, st_table):
+        st_table.record_bypass(0x1000, pc=1, offset=0)
+        st_table.record_bypass(0x2000, pc=2, offset=1)
+        assert st_table.recorded == 2
+        assert st_table.resident_entries == 2

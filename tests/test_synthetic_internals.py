@@ -1,0 +1,164 @@
+"""White-box tests of the synthetic trace engine's mechanisms."""
+
+import random
+
+import pytest
+
+from repro.workloads.profiles import AccessFunctionSpec, WorkloadProfile, profile_for
+from repro.workloads.synthetic import SyntheticWorkload, _AccessFunction, _ZipfSampler
+
+MB = 1024 * 1024
+
+
+def make_function(kind="sequential", drift=0.0, zipf_alpha=0.0, **kwargs):
+    spec = AccessFunctionSpec(
+        kind=kind,
+        weight=1.0,
+        min_blocks=kwargs.pop("min_blocks", 4),
+        max_blocks=kwargs.pop("max_blocks", 8),
+        zipf_alpha=zipf_alpha,
+        drift=drift,
+        **kwargs,
+    )
+    return _AccessFunction(
+        spec=spec,
+        pcs=[0x400, 0x404],
+        region_base=0,
+        region_pages=1000,
+        page_size=2048,
+        blocks_per_page=32,
+        rng=random.Random(42),
+    )
+
+
+class TestZipfSampler:
+    def test_uniform_when_alpha_zero(self):
+        sampler = _ZipfSampler(100, 0.0)
+        counts = [0] * 100
+        rng = random.Random(0)
+        for _ in range(10_000):
+            counts[sampler.sample(rng.random())] += 1
+        assert max(counts) < 3 * min(c for c in counts if c)
+
+    def test_skewed_when_alpha_high(self):
+        sampler = _ZipfSampler(100, 1.5)
+        rng = random.Random(0)
+        draws = [sampler.sample(rng.random()) for _ in range(10_000)]
+        top = sum(1 for d in draws if d == 0)
+        assert top > 2_000  # rank 0 dominates
+
+    def test_samples_in_range(self):
+        sampler = _ZipfSampler(10, 0.9)
+        for u in (0.0, 0.25, 0.5, 0.999999):
+            assert 0 <= sampler.sample(u) < 10
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            _ZipfSampler(0, 1.0)
+
+    def test_cdf_cached(self):
+        a = _ZipfSampler(500, 0.8)
+        b = _ZipfSampler(500, 0.8)
+        assert a._cdf is b._cdf
+
+
+class TestFootprintMemo:
+    def test_footprint_stable_without_drift(self):
+        function = make_function(drift=0.0)
+        first = function.footprint(0x400, 3)
+        for _ in range(10):
+            assert function.footprint(0x400, 3) == first
+
+    def test_footprint_varies_by_key(self):
+        function = make_function(kind="sparse", min_blocks=3, max_blocks=6)
+        a = function.footprint(0x400, 3)
+        b = function.footprint(0x404, 3)
+        # Different PCs may memoise different patterns (not guaranteed
+        # different, but both must contain their trigger block).
+        assert 3 in a and 3 in b
+
+    def test_drift_eventually_changes_footprint(self):
+        function = make_function(kind="sparse", drift=0.5, min_blocks=3, max_blocks=8)
+        first = function.footprint(0x400, 0)
+        changed = any(function.footprint(0x400, 0) != first for _ in range(50))
+        assert changed
+
+    def test_trigger_block_always_first(self):
+        for kind in ("sequential", "strided", "sparse", "singleton", "full"):
+            function = make_function(kind=kind)
+            pattern = function.footprint(0x400, 5)
+            assert pattern[0] == 5
+
+    def test_patterns_stay_in_page(self):
+        for kind in ("sequential", "strided", "sparse", "singleton", "full"):
+            function = make_function(kind=kind, min_blocks=4, max_blocks=30)
+            for first in (0, 7, 31):
+                pattern = function.footprint(0x400 + first, first)
+                assert all(0 <= block < 32 for block in pattern)
+
+    def test_full_pattern_covers_page(self):
+        function = make_function(kind="full")
+        assert sorted(function.footprint(0x400, 0)) == list(range(32))
+
+    def test_singleton_is_single(self):
+        function = make_function(kind="singleton")
+        assert function.footprint(0x400, 9) == (9,)
+
+    def test_strided_spacing(self):
+        function = make_function(kind="strided", stride=4, min_blocks=3, max_blocks=3)
+        pattern = function.footprint(0x400, 2)
+        assert pattern == (2, 6, 10)
+
+
+class TestPageSelection:
+    def test_streaming_never_repeats_until_wrap(self):
+        function = make_function(zipf_alpha=0.0)
+        pages = [function.next_page() for _ in range(500)]
+        assert len(set(pages)) == 500
+
+    def test_zipf_repeats(self):
+        function = make_function(zipf_alpha=1.2)
+        pages = [function.next_page() for _ in range(500)]
+        assert len(set(pages)) < 400
+
+    def test_pages_within_region(self):
+        function = make_function(zipf_alpha=0.5)
+        for _ in range(200):
+            page = function.next_page()
+            assert 0 <= page < 1000 * 2048
+            assert page % 2048 == 0
+
+    def test_alignment_deterministic_per_page(self):
+        function = make_function()
+        page = 17 * 2048
+        assert function.first_offset(page) == function.first_offset(page)
+
+    def test_pc_deterministic_per_page(self):
+        function = make_function()
+        page = 23 * 2048
+        assert function.pick_pc(page) == function.pick_pc(page)
+
+
+class TestPoolMechanics:
+    def test_pool_bounded(self):
+        workload = SyntheticWorkload(profile_for("web_search"), seed=0)
+        for _ in workload.requests(2000):
+            assert len(workload._pool) <= workload.profile.pool_size
+
+    def test_visit_blocks_emitted_in_order(self):
+        profile = WorkloadProfile(
+            name="single",
+            functions=(
+                AccessFunctionSpec(
+                    kind="sequential", weight=1.0, min_blocks=4, max_blocks=4,
+                    zipf_alpha=0.0,
+                ),
+            ),
+            dataset_bytes=MB,
+            pool_size=1,
+        )
+        workload = SyntheticWorkload(profile, seed=1)
+        offsets = [r.block_index_in_page(2048) for r in workload.requests(8)]
+        # Pool of one visit: each 4-block visit plays out sequentially.
+        first_visit = offsets[:4]
+        assert first_visit == sorted(first_visit)

@@ -1,0 +1,93 @@
+"""Unit tests for the Footprint Cache tag array."""
+
+import pytest
+
+from repro.core.tag_array import FootprintTagArray
+
+
+@pytest.fixture
+def tags():
+    # 16 pages: 2 sets x 8 ways.
+    return FootprintTagArray(capacity_bytes=16 * 2048, associativity=8)
+
+
+class TestAllocation:
+    def test_lookup_missing(self, tags):
+        assert tags.lookup(0x4000) is None
+
+    def test_allocate_then_lookup(self, tags):
+        entry = tags.allocate(0x4000, fht_key=(0x400, 3), predicted_mask=0b1000)
+        assert tags.lookup(0x4000) is entry
+        assert entry.fht_key == (0x400, 3)
+        assert entry.predicted_mask == 0b1000
+
+    def test_frames_unique(self, tags):
+        pages = [i * 2 * 2048 for i in range(8)]  # all in set 0
+        frames = {tags.allocate(p, (0, 0), 1).frame for p in pages}
+        assert len(frames) == 8
+
+    def test_allocate_full_set_raises(self, tags):
+        for i in range(8):
+            tags.allocate(i * 2 * 2048, (0, 0), 1)
+        with pytest.raises(RuntimeError):
+            tags.allocate(8 * 2 * 2048, (0, 0), 1)
+
+    def test_needs_eviction(self, tags):
+        for i in range(8):
+            tags.allocate(i * 2 * 2048, (0, 0), 1)
+        candidate = tags.needs_eviction(8 * 2 * 2048)
+        assert candidate is not None
+        assert candidate[0] == 0  # LRU: first allocated
+
+    def test_needs_eviction_none_when_room(self, tags):
+        assert tags.needs_eviction(0) is None
+
+    def test_evict_releases_frame(self, tags):
+        entry = tags.allocate(0x4000, (0, 0), 1)
+        frame = entry.frame
+        tags.evict(0x4000)
+        new_entry = tags.allocate(0x4000, (0, 0), 1)
+        assert new_entry.frame == frame
+
+    def test_evict_missing_raises(self, tags):
+        with pytest.raises(KeyError):
+            tags.evict(0x4000)
+
+    def test_resident_pages(self, tags):
+        tags.allocate(0, (0, 0), 1)
+        tags.allocate(2048, (0, 0), 1)
+        assert tags.resident_pages == 2
+
+
+class TestEntryState:
+    def test_blocks_start_empty(self, tags):
+        entry = tags.allocate(0, (0, 0), 0b11)
+        assert entry.blocks.present_mask == 0
+        assert entry.demanded_mask == 0
+
+    def test_masks_proxy_block_bits(self, tags):
+        entry = tags.allocate(0, (0, 0), 0b11)
+        entry.blocks.install_prefetched(0b11)
+        entry.blocks.mark_demanded(0, dirty=True)
+        assert entry.demanded_mask == 0b01
+        assert entry.dirty_mask == 0b01
+
+
+class TestGeometry:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FootprintTagArray(capacity_bytes=1000)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            FootprintTagArray(capacity_bytes=16 * 2048, block_size=100)
+
+    def test_paper_tag_storage_64mb(self):
+        # Table 4: 0.40MB for a 64MB Footprint Cache.
+        tags = FootprintTagArray(capacity_bytes=64 * 1024 * 1024)
+        assert tags.storage_bytes() == pytest.approx(0.40 * 1024 * 1024, rel=0.05)
+
+    def test_paper_tag_storage_512mb(self):
+        # Table 4: 3.12MB for a 512MB Footprint Cache.
+        tags = FootprintTagArray(capacity_bytes=512 * 1024 * 1024)
+        assert tags.storage_bytes() == pytest.approx(3.12 * 1024 * 1024, rel=0.05)
