@@ -9,18 +9,32 @@
 from repro.analysis.report import format_table, percent
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, baseline_for, emit, run_design
+from common import PRETTY, bench_spec, emit, sweep
 
 INDEX_MODES = ("pc_offset", "pc", "offset")
+
+PREDICTOR_SPEC = bench_spec(
+    workloads=("web_search", "data_serving", "mapreduce"),
+    designs=("subblock", "footprint"),
+    capacities_mb=(256,),
+)
+
+INDEXING_SPEC = bench_spec(
+    workloads=("web_search", "sat_solver"),
+    designs=("footprint",),
+    capacities_mb=(256,),
+    cache_variants=tuple({"fht_index_mode": mode} for mode in INDEX_MODES),
+)
 
 
 def test_ablation_predictor_value(benchmark):
     def compute():
-        out = {}
-        for workload in ("web_search", "data_serving", "mapreduce"):
-            out[(workload, "subblock")] = run_design(workload, "subblock", 256)
-            out[(workload, "footprint")] = run_design(workload, "footprint", 256)
-        return out
+        results = sweep(PREDICTOR_SPEC)
+        return {
+            (workload, design): results.get(workload=workload, design=design)
+            for workload in ("web_search", "data_serving", "mapreduce")
+            for design in ("subblock", "footprint")
+        }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
     rows = []
@@ -51,10 +65,9 @@ def test_ablation_predictor_value(benchmark):
 
 def test_ablation_fht_indexing(benchmark):
     def compute():
+        results = sweep(INDEXING_SPEC)
         return {
-            (workload, mode): run_design(
-                workload, "footprint", 256, extras=(("fht_index_mode", mode),)
-            )
+            (workload, mode): results.get(workload=workload, fht_index_mode=mode)
             for workload in ("web_search", "sat_solver")
             for mode in INDEX_MODES
         }

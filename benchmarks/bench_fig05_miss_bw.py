@@ -11,15 +11,22 @@ from repro.analysis.report import format_table, percent
 from repro.perf.stats import geometric_mean
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import CAPACITIES_MB, PRETTY, emit, run_design
+from common import CAPACITIES_MB, PRETTY, bench_spec, emit, sweep
 
 DESIGNS = ("page", "footprint", "block")
+
+SPEC = bench_spec(
+    workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=CAPACITIES_MB
+)
 
 
 def test_fig05_miss_ratio_and_bandwidth(benchmark):
     def compute():
+        results = sweep(SPEC)
         return {
-            (workload, capacity, design): run_design(workload, design, capacity)
+            (workload, capacity, design): results.get(
+                workload=workload, design=design, capacity_mb=capacity
+            )
             for workload in WORKLOAD_NAMES
             for capacity in CAPACITIES_MB
             for design in DESIGNS

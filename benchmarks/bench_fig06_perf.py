@@ -9,20 +9,35 @@ Ideal cache's performance.
 from repro.analysis.report import format_table, percent
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import CAPACITIES_MB, PRETTY, baseline_for, emit, geomean_improvement, run_design
+from common import (
+    CAPACITIES_MB,
+    PRETTY,
+    baseline_for,
+    bench_spec,
+    emit,
+    geomean_improvement,
+    sweep,
+)
 
 FIG6_WORKLOADS = tuple(w for w in WORKLOAD_NAMES if w != "data_serving")
 DESIGNS = ("block", "page", "footprint", "ideal")
 
+SPEC = bench_spec(
+    workloads=FIG6_WORKLOADS, designs=DESIGNS, capacities_mb=CAPACITIES_MB
+)
+
 
 def test_fig06_performance(benchmark):
     def compute():
+        results = sweep(SPEC)
         out = {}
         for workload in FIG6_WORKLOADS:
             baseline = baseline_for(workload)
             for capacity in CAPACITIES_MB:
                 for design in DESIGNS:
-                    result = run_design(workload, design, capacity)
+                    result = results.get(
+                        workload=workload, design=design, capacity_mb=capacity
+                    )
                     out[(workload, capacity, design)] = result.improvement_over(baseline)
         return out
 

@@ -6,16 +6,21 @@ initially *hurts* it while Footprint Cache tracks the Ideal design.
 
 from repro.analysis.report import format_table, percent
 
-from common import CAPACITIES_MB, baseline_for, emit, run_design
+from common import CAPACITIES_MB, baseline_for, bench_spec, emit, sweep
 
 DESIGNS = ("block", "page", "footprint", "ideal")
+
+SPEC = bench_spec(
+    workloads=("data_serving",), designs=DESIGNS, capacities_mb=CAPACITIES_MB
+)
 
 
 def test_fig07_data_serving(benchmark):
     def compute():
+        results = sweep(SPEC)
         baseline = baseline_for("data_serving")
         return {
-            (capacity, design): run_design("data_serving", design, capacity)
+            (capacity, design): results.get(design=design, capacity_mb=capacity)
             .improvement_over(baseline)
             for capacity in CAPACITIES_MB
             for design in DESIGNS

@@ -5,28 +5,29 @@ blocks stack on top.  The paper finds 1-2KB pages the sweet spot, with
 larger pages needing more history.
 """
 
-from repro.analysis.predictor_accuracy import predictor_accuracy
 from repro.analysis.report import format_table, percent
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, SCALE, SEED, emit
+from common import PRETTY, bench_spec, emit, sweep
 
 PAGE_SIZES = (1024, 2048, 4096)
 N = 160_000
 
+SPEC = bench_spec(
+    workloads=WORKLOAD_NAMES,
+    designs=("footprint",),
+    capacities_mb=(256,),
+    page_sizes=PAGE_SIZES,
+    cache_variants={"fht_entries": 16384},
+    num_requests=N,
+)
+
 
 def test_fig08_predictor_accuracy_vs_page_size(benchmark):
     def compute():
+        results = sweep(SPEC)
         return {
-            (workload, page_size): predictor_accuracy(
-                workload,
-                capacity_mb=256,
-                page_size=page_size,
-                fht_entries=16384,
-                scale=SCALE,
-                num_requests=N,
-                seed=SEED,
-            )
+            (workload, page_size): results.get(workload=workload, page_size=page_size)
             for workload in WORKLOAD_NAMES
             for page_size in PAGE_SIZES
         }
@@ -41,9 +42,9 @@ def test_fig08_predictor_accuracy_vs_page_size(benchmark):
                 (
                     PRETTY[workload],
                     f"{page_size}B",
-                    percent(b.coverage),
-                    percent(b.underprediction),
-                    percent(b.overprediction),
+                    percent(b.predictor_coverage),
+                    percent(b.predictor_underprediction),
+                    percent(b.predictor_overprediction),
                 )
             )
     emit(
@@ -56,8 +57,8 @@ def test_fig08_predictor_accuracy_vs_page_size(benchmark):
     )
 
     for (workload, page_size), b in breakdowns.items():
-        assert abs(b.coverage + b.underprediction - 1.0) < 1e-9
+        assert abs(b.predictor_coverage + b.predictor_underprediction - 1.0) < 1e-9
         # Overpredictions stay small everywhere (the predictor's key virtue).
-        assert b.overprediction < 0.35, (workload, page_size)
+        assert b.predictor_overprediction < 0.35, (workload, page_size)
     # 2KB coverage should be respectable for the predictable workloads.
-    assert breakdowns[("web_search", 2048)].coverage > 0.75
+    assert breakdowns[("web_search", 2048)].predictor_coverage > 0.75

@@ -8,22 +8,25 @@ lose coverage.
 from repro.analysis.report import format_table, percent
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, emit, run_design
+from common import PRETTY, bench_spec, emit, sweep
 
 FHT_SIZES = (256, 1024, 4096, 16384)
 N = 160_000
 
+SPEC = bench_spec(
+    workloads=WORKLOAD_NAMES,
+    designs=("footprint",),
+    capacities_mb=(256,),
+    cache_variants=tuple({"fht_entries": entries} for entries in FHT_SIZES),
+    num_requests=N,
+)
+
 
 def test_fig09_fht_sensitivity(benchmark):
     def compute():
+        results = sweep(SPEC)
         return {
-            (workload, entries): run_design(
-                workload,
-                "footprint",
-                256,
-                extras=(("fht_entries", entries),),
-                num_requests=N,
-            )
+            (workload, entries): results.get(workload=workload, fht_entries=entries)
             for workload in WORKLOAD_NAMES
             for entries in FHT_SIZES
         }

@@ -9,18 +9,21 @@ from repro.analysis.report import format_table, percent
 from repro.perf.stats import geometric_mean
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, baseline_for, emit, run_design
+from common import PRETTY, baseline_for, bench_spec, emit, sweep
 
 DESIGNS = ("block", "page", "footprint")
+
+SPEC = bench_spec(workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=(256,))
 
 
 def test_fig10_offchip_energy(benchmark):
     def compute():
+        results = sweep(SPEC)
         out = {}
         for workload in WORKLOAD_NAMES:
             out[(workload, "baseline")] = baseline_for(workload)
             for design in DESIGNS:
-                out[(workload, design)] = run_design(workload, design, 256)
+                out[(workload, design)] = results.get(workload=workload, design=design)
         return out
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -8,15 +8,18 @@ from repro.analysis.report import format_table, percent
 from repro.perf.stats import geometric_mean
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, emit, run_design
+from common import PRETTY, bench_spec, emit, sweep
 
 DESIGNS = ("block", "page", "footprint")
+
+SPEC = bench_spec(workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=(256,))
 
 
 def test_fig11_stacked_energy(benchmark):
     def compute():
+        results = sweep(SPEC)
         return {
-            (workload, design): run_design(workload, design, 256)
+            (workload, design): results.get(workload=workload, design=design)
             for workload in WORKLOAD_NAMES
             for design in DESIGNS
         }

@@ -10,10 +10,15 @@ from repro.analysis.coverage import access_counts_per_page, coverage_curve
 from repro.analysis.report import format_table, percent
 from repro.workloads.cloudsuite import WORKLOAD_NAMES, make_workload
 
-from common import PRETTY, SCALE, SEED, emit, run_design
+from common import PRETTY, SCALE, SEED, bench_spec, emit, run_design, sweep
 
 POINTS = (0.2, 0.4, 0.6, 0.8)
 N = 160_000
+
+CHOP_WORKLOADS = ("data_serving", "web_search")
+CHOP_SPEC = bench_spec(
+    workloads=CHOP_WORKLOADS, designs=("chop",), capacities_mb=(256,)
+)
 
 
 def test_fig12_coverage_curves(benchmark):
@@ -57,9 +62,9 @@ def test_fig12_coverage_curves(benchmark):
 
 def test_chop_cache_ineffective(benchmark):
     def compute():
+        results = sweep(CHOP_SPEC)
         return {
-            workload: run_design(workload, "chop", 256)
-            for workload in ("data_serving", "web_search")
+            workload: results.get(workload=workload) for workload in CHOP_WORKLOADS
         }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -9,26 +9,35 @@ from repro.analysis.report import format_table, percent
 from repro.perf.stats import geometric_mean
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
-from common import PRETTY, emit, run_design
+from common import PRETTY, bench_spec, emit, sweep
 
 CAPACITIES = (64, 128)
+
+# Writing the enabled default out explicitly keeps both variants in one
+# grid; the store hashes it identically to the plain footprint points.
+SPEC = bench_spec(
+    workloads=WORKLOAD_NAMES,
+    designs=("footprint",),
+    capacities_mb=CAPACITIES,
+    cache_variants=(
+        {"singleton_optimization": True},
+        {"singleton_optimization": False},
+    ),
+)
 
 
 def test_sec65_singleton_optimization(benchmark):
     def compute():
-        out = {}
-        for workload in WORKLOAD_NAMES:
-            for capacity in CAPACITIES:
-                out[(workload, capacity, True)] = run_design(
-                    workload, "footprint", capacity
-                )
-                out[(workload, capacity, False)] = run_design(
-                    workload,
-                    "footprint",
-                    capacity,
-                    extras=(("singleton_optimization", False),),
-                )
-        return out
+        results = sweep(SPEC)
+        return {
+            (workload, capacity, enabled): results.get(
+                workload=workload, capacity_mb=capacity,
+                singleton_optimization=enabled,
+            )
+            for workload in WORKLOAD_NAMES
+            for capacity in CAPACITIES
+            for enabled in (True, False)
+        }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
 

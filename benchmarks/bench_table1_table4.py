@@ -8,11 +8,17 @@ justify each check mark.  Table 4 is the tag-storage/latency model.
 from repro.analysis.report import format_table, percent
 from repro.core.overheads import overheads_for, table4
 
-from common import emit, run_design
+from common import bench_spec, emit, sweep
 
 MB = 1024 * 1024
 
 ACTIVATE_PAIR_NJ = 20.0  # DramEnergyModel.off_chip().activate_precharge_nj
+
+TABLE1_SPEC = bench_spec(
+    workloads=("web_search",),
+    designs=("block", "page", "footprint"),
+    capacities_mb=(256,),
+)
 
 
 def _bytes_per_activation(result) -> float:
@@ -25,8 +31,9 @@ def _bytes_per_activation(result) -> float:
 
 def test_table1_design_comparison(benchmark):
     def compute():
+        results = sweep(TABLE1_SPEC)
         return {
-            design: run_design("web_search", design, 256)
+            design: results.get(design=design)
             for design in ("block", "page", "footprint")
         }
 

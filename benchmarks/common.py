@@ -1,9 +1,13 @@
 """Shared infrastructure for the paper-reproduction benches.
 
 Every bench regenerates one table or figure of the paper and prints it in
-the paper's row/series layout.  Simulation results are memoised across
-benches within one pytest session (Figs. 5, 6, 7, 10 and 11 all consume
-the same design x capacity x workload runs).
+the paper's row/series layout.  Simulation happens through the experiment
+engine (:mod:`repro.exp`): benches declare their grid as an
+:class:`~repro.exp.ExperimentSpec`, :func:`sweep` executes it (parallel
+when ``REPRO_BENCH_JOBS`` > 1), and every result lands in the persistent
+:class:`~repro.exp.ResultStore` under ``benchmarks/results/cache/`` — so
+Figs. 5, 6, 7, 10 and 11, which all consume the same design x capacity x
+workload runs, share points within *and across* pytest sessions.
 
 Scaling: benches run at ``SCALE = 256`` (a 256MB cache is simulated as
 1MB against a proportionally scaled dataset; see DESIGN.md §5).  Trace
@@ -15,13 +19,18 @@ from __future__ import annotations
 
 import functools
 import os
-from typing import Dict, Tuple
+from typing import Tuple
 
+from repro.exp import (
+    ExperimentPoint,
+    ExperimentSpec,
+    ResultStore,
+    SweepResult,
+    SweepRunner,
+    default_requests,
+)
 from repro.perf.stats import geometric_mean
-from repro.sim.config import SimulationConfig
-from repro.sim.simulator import SimulationResult, Simulator
-from repro.sim.system import build_system
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
+from repro.sim.simulator import SimulationResult
 
 MB = 1024 * 1024
 SCALE = 256
@@ -29,6 +38,9 @@ CAPACITIES_MB = (64, 128, 256, 512)
 SEED = 0
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+STORE = ResultStore(os.path.join(RESULTS_DIR, "cache"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+RUNNER = SweepRunner(store=STORE, jobs=JOBS)
 
 PRETTY = {
     "data_serving": "Data Serving",
@@ -42,8 +54,19 @@ PRETTY = {
 
 def requests_for(capacity_mb: int) -> int:
     """Capacity-aware trace length: bigger caches need more evictions."""
-    pages = capacity_mb * MB // SCALE // 2048
-    return max(120_000, pages * 120)
+    return default_requests(capacity_mb, SCALE)
+
+
+def bench_spec(**axes) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` at the benches' scale and seed."""
+    axes.setdefault("scale", SCALE)
+    axes.setdefault("seeds", (SEED,))
+    return ExperimentSpec(**axes)
+
+
+def sweep(spec: ExperimentSpec) -> SweepResult:
+    """Execute a grid through the shared runner and result store."""
+    return RUNNER.run(spec)
 
 
 @functools.lru_cache(maxsize=None)
@@ -55,22 +78,30 @@ def run_design(
     num_requests: int = 0,
     seed: int = SEED,
 ) -> SimulationResult:
-    """Memoised simulation of one (workload, design, capacity) point."""
-    config = SimulationConfig.scaled(
-        workload,
-        design,
-        capacity_mb,
+    """One (workload, design, capacity) point through the engine.
+
+    Served from the :class:`ResultStore` when a sweep (this session or an
+    earlier one) already produced the point; memoised in-process on top.
+    """
+    point = ExperimentPoint(
+        workload=workload,
+        design=design,
+        capacity_mb=capacity_mb,
         scale=SCALE,
-        num_requests=num_requests or requests_for(capacity_mb),
+        num_requests=num_requests,
         seed=seed,
-        **dict(extras),
+        cache_kwargs=extras,
     )
-    return Simulator(config).run()
+    return RUNNER.run_one(point)
 
 
 def baseline_for(workload: str, num_requests: int = 0) -> SimulationResult:
-    """The no-DRAM-cache baseline for a workload (capacity-independent)."""
-    return run_design(workload, "baseline", 64, num_requests=num_requests or 120_000)
+    """The no-DRAM-cache baseline for a workload.
+
+    The baseline is capacity-independent and hashes as such in the store
+    (:class:`ExperimentPoint` normalises its capacity away).
+    """
+    return run_design(workload, "baseline", 0, num_requests=num_requests or 120_000)
 
 
 def geomean_improvement(improvements) -> float:

@@ -6,35 +6,53 @@ block-based, page-based and Footprint designs trade hit ratio against
 off-chip traffic as the die-stacked capacity grows, and what that does to
 end performance.
 
+The grid runs through the experiment engine: points fan out over worker
+processes and persist in the result store, so a second invocation (or a
+bench that shares points) is served from cache.
+
 Usage::
 
-    python examples/capacity_study.py [workload]
+    python examples/capacity_study.py [workload] [--jobs N]
 """
 
-import sys
+import argparse
 
-from repro import quick_run
 from repro.analysis.report import format_table, percent
+from repro.exp import ExperimentPoint, ExperimentSpec, ResultStore, SweepRunner
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
 CAPACITIES_MB = (64, 128, 256, 512)
 DESIGNS = ("block", "page", "footprint", "ideal")
+N = 120_000
 
 
 def main() -> None:
-    workload = sys.argv[1] if len(sys.argv) > 1 else "data_serving"
-    if workload not in WORKLOAD_NAMES:
-        raise SystemExit(f"unknown workload {workload!r}; pick one of {WORKLOAD_NAMES}")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workload", nargs="?", default="data_serving",
+                        choices=WORKLOAD_NAMES)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (default: one per CPU)")
+    args = parser.parse_args()
+    workload = args.workload
 
-    print(f"Capacity study for {workload!r} (this runs ~17 simulations) ...")
-    baseline = quick_run(workload, design="baseline", capacity_mb=64, num_requests=120_000)
+    spec = ExperimentSpec(
+        workloads=workload,
+        designs=DESIGNS,
+        capacities_mb=CAPACITIES_MB,
+        num_requests=N,
+    )
+    print(f"Capacity study for {workload!r} ({len(spec) + 1} simulations) ...")
+
+    runner = SweepRunner(store=ResultStore(), jobs=args.jobs)
+    results = runner.run(spec)
+    baseline = runner.run_one(
+        ExperimentPoint(workload=workload, design="baseline", num_requests=N)
+    )
 
     rows = []
     for capacity in CAPACITIES_MB:
         for design in DESIGNS:
-            result = quick_run(
-                workload, design=design, capacity_mb=capacity, num_requests=120_000
-            )
+            result = results.get(design=design, capacity_mb=capacity)
             rows.append(
                 (
                     f"{capacity}MB",

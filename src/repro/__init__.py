@@ -25,7 +25,11 @@ from repro.mem.request import AccessType, MemoryRequest
 from repro.sim.config import CacheConfig, SimulationConfig, SystemConfig
 from repro.sim.simulator import SimulationResult, Simulator, quick_run
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The experiment engine imports repro.sim and (lazily) __version__, so it
+# comes last.
+from repro.exp import ExperimentPoint, ExperimentSpec, ResultStore, SweepRunner
 
 __all__ = [
     "AccessType",
@@ -36,5 +40,9 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "quick_run",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "ResultStore",
+    "SweepRunner",
     "__version__",
 ]

@@ -6,18 +6,37 @@ Run a single experiment point from the shell::
     python -m repro --workload data_serving --design page --capacity 64 \
         --requests 200000 --seed 3
 
-Prints the metrics one Fig. 5/6/10 data point needs.
+Or sweep a whole grid through the experiment engine — parallel across
+processes, incremental across runs via the persistent result store::
+
+    python -m repro sweep --workloads web_search --designs footprint,page \
+        --capacities 64,256 --jobs 2
+
+A repeated sweep reports every point as a cache hit and finishes in
+milliseconds; ``--no-cache`` forces re-simulation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis.report import format_table, percent
+from repro.exp import ExperimentSpec, ResultStore, SweepRunner
 from repro.sim.config import DESIGNS, SimulationConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
+
+
+def _csv(kind):
+    def parse(text: str):
+        try:
+            return tuple(kind(item) for item in text.split(",") if item)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error))
+
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,11 +69,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true",
         help="also run the no-cache baseline and report the improvement",
     )
+
+    commands = parser.add_subparsers(dest="command", metavar="command")
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a (workload x design x capacity) grid through the "
+        "experiment engine",
+        description="Run a declarative experiment grid: points fan out over "
+        "worker processes and land in the persistent result store, so "
+        "re-runs are incremental.",
+    )
+    sweep.add_argument(
+        "--workloads", type=_csv(str), default=("web_search",),
+        metavar="A,B,...", help="comma-separated workloads (default web_search)",
+    )
+    sweep.add_argument(
+        "--designs", type=_csv(str), default=("footprint",),
+        metavar="A,B,...", help="comma-separated designs (default footprint)",
+    )
+    sweep.add_argument(
+        "--capacities", type=_csv(int), default=(256,),
+        metavar="MB,MB,...", help="comma-separated nominal capacities in MB",
+    )
+    sweep.add_argument(
+        "--seeds", type=_csv(int), default=(0,), metavar="N,N,...",
+        help="comma-separated trace seeds (default 0)",
+    )
+    sweep.add_argument(
+        "--page-sizes", type=_csv(int), default=(2048,), metavar="B,B,...",
+        help="comma-separated page sizes in bytes (default 2048)",
+    )
+    sweep.add_argument(
+        "--requests", type=int, default=0, dest="sweep_requests", metavar="N",
+        help="trace length per point (default: capacity-aware)",
+    )
+    sweep.add_argument(
+        "--scale", type=int, default=256, dest="sweep_scale",
+        help="capacity/dataset scale-down factor (default 256)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1; 0 = one per CPU)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore stored results (fresh results are still recorded)",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default benchmarks/results/cache, "
+        "or $REPRO_RESULT_STORE)",
+    )
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_single(args) -> int:
     cache_kwargs = {}
     if args.design == "footprint":
         cache_kwargs["fht_entries"] = args.fht_entries
@@ -97,6 +166,85 @@ def main(argv=None) -> int:
     )
     print(format_table(("metric", "value"), rows, title=title))
     return 0
+
+
+def _run_sweep(args) -> int:
+    try:
+        for workload in args.workloads:
+            if workload not in WORKLOAD_NAMES:
+                raise ValueError(
+                    f"unknown workload {workload!r}; one of {WORKLOAD_NAMES}"
+                )
+        spec = ExperimentSpec(
+            workloads=args.workloads,
+            designs=args.designs,
+            capacities_mb=args.capacities,
+            seeds=args.seeds,
+            page_sizes=args.page_sizes,
+            num_requests=args.sweep_requests,
+            scale=args.sweep_scale,
+        )
+        for point in spec.points():
+            point.config()  # surface capacity/page-size/request errors now
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+
+    def progress(tick) -> None:
+        status = "hit" if tick.cached else "run"
+        print(
+            f"[{tick.completed}/{tick.total}] {tick.point.label():40s} {status}",
+            flush=True,
+        )
+
+    runner = SweepRunner(
+        store=store, jobs=args.jobs, use_cache=not args.no_cache, progress=progress
+    )
+    started = time.perf_counter()
+    try:
+        sweep = runner.run(spec)
+    except ValueError as error:
+        # Config errors only caught at system-build time (e.g. a capacity
+        # that is not a whole number of sets) surface here, from workers
+        # included — report them like any other invalid grid value.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        (
+            point.label(),
+            f"{point.resolved_requests}",
+            percent(result.miss_ratio),
+            f"{result.offchip_traffic_normalized:.2f}x",
+            f"{result.aggregate_ipc:.2f}",
+        )
+        for point, result in sweep.items()
+    ]
+    print()
+    print(
+        format_table(
+            ("point", "requests", "miss ratio", "off-chip traffic", "IPC"),
+            rows,
+            title=f"Sweep over {len(sweep)} points",
+        )
+    )
+    summary = (
+        f"{len(sweep)} points in {elapsed:.1f}s: {sweep.hits} cache hits, "
+        f"{sweep.misses} simulated (store: {store.path})"
+    )
+    if sweep.misses == 0:
+        summary += " — all points served from cache"
+    print(summary)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_single(args)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.caches.sram_cache import SetAssociativeCache
+from repro.bitops import popcount
 from repro.mem.request import MemoryRequest
 from repro.perf.stats import Histogram
 
@@ -60,14 +61,14 @@ class PageDensityTracker:
         if mask is None:
             eviction = self._pages.insert(page, 1 << offset)
             if eviction is not None:
-                self.histogram.record(bin(eviction.payload).count("1"))
+                self.histogram.record(popcount(eviction.payload))
         else:
             self._pages.insert(page, mask | 1 << offset)
 
     def finish(self) -> Histogram:
         """Flush resident pages into the histogram and return it."""
         for _, mask in self._pages.items():
-            self.histogram.record(bin(mask).count("1"))
+            self.histogram.record(popcount(mask))
         return self.histogram
 
     def bucket_fractions(self) -> Dict[str, float]:

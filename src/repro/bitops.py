@@ -1,0 +1,20 @@
+"""Bit-manipulation helpers shared by the cache models.
+
+``popcount`` sits on the per-access hot path (footprint vectors, dirty
+masks, density histograms), so it binds to :meth:`int.bit_count` where
+available (Python >= 3.10) and falls back to string counting otherwise.
+"""
+
+from __future__ import annotations
+
+if hasattr(int, "bit_count"):
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask``."""
+        return mask.bit_count()
+
+else:  # pragma: no cover - Python < 3.10
+
+    def popcount(mask: int) -> int:
+        """Number of set bits in ``mask``."""
+        return bin(mask).count("1")

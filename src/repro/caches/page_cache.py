@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.caches.base import CacheAccessResult, DramCache
 from repro.caches.sram_cache import SetAssociativeCache
+from repro.bitops import popcount
 from repro.dram.controller import MemoryController
 from repro.mem.request import BLOCK_SIZE, MemoryRequest
 
@@ -27,11 +28,11 @@ class PageLine:
 
     def dirty_blocks(self) -> int:
         """Number of dirty blocks in the page."""
-        return bin(self.dirty_mask).count("1")
+        return popcount(self.dirty_mask)
 
     def demanded_blocks(self) -> int:
         """Number of blocks demanded during residency (page density)."""
-        return bin(self.demanded_mask).count("1")
+        return popcount(self.demanded_mask)
 
 
 class FrameAllocator:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.bitops import popcount
+
 
 class BlockState(enum.Enum):
     """The four per-block states of Table 2, as (dirty_bit, valid_bit)."""
@@ -129,12 +131,12 @@ class PageBlockBits:
 
     def count_present(self) -> int:
         """Number of blocks in the cache for this page."""
-        return bin(self.present_mask).count("1")
+        return popcount(self.present_mask)
 
     def count_demanded(self) -> int:
         """Page density: number of demanded blocks."""
-        return bin(self.demanded_mask).count("1")
+        return popcount(self.demanded_mask)
 
     def count_dirty(self) -> int:
         """Number of dirty blocks."""
-        return bin(self.dirty_mask).count("1")
+        return popcount(self.dirty_mask)

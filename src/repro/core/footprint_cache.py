@@ -15,15 +15,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.caches.base import CacheAccessResult, DramCache
+from repro.bitops import popcount as _popcount
 from repro.core.footprint_predictor import FootprintHistoryTable, PredictorStats
 from repro.core.singleton_table import SingletonTable
 from repro.core.tag_array import FootprintTagArray, PageEntry
 from repro.dram.controller import MemoryController
 from repro.mem.request import BLOCK_SIZE, MemoryRequest
-
-
-def _popcount(mask: int) -> int:
-    return bin(mask).count("1")
 
 
 class FootprintCache(DramCache):

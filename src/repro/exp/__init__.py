@@ -1,0 +1,47 @@
+"""Experiment engine: declarative sweeps, parallel execution, result store.
+
+The engine turns the paper's figure grids into three composable pieces:
+
+* :class:`~repro.exp.spec.ExperimentSpec` — a declarative, hashable grid
+  over workload / design / capacity / seed / page size / cache kwargs;
+* :class:`~repro.exp.runner.SweepRunner` — fans grid points out over a
+  process pool with deterministic per-point seeds;
+* :class:`~repro.exp.store.ResultStore` — a JSONL store keyed by a
+  stable config hash, so results persist across processes and sessions.
+
+>>> from repro.exp import ExperimentSpec, SweepRunner
+>>> spec = ExperimentSpec(workloads="web_search", designs=("page",),
+...                       capacities_mb=64, num_requests=4000)
+>>> sweep = SweepRunner(store=None).run(spec)
+>>> sweep.get(design="page").design
+'page'
+"""
+
+from repro.exp.runner import (
+    SweepProgress,
+    SweepResult,
+    SweepRunner,
+    run_point,
+)
+from repro.exp.spec import (
+    ENGINE_VERSION,
+    ExperimentPoint,
+    ExperimentSpec,
+    default_requests,
+    freeze_kwargs,
+)
+from repro.exp.store import ResultStore, default_store_dir
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "ResultStore",
+    "SweepProgress",
+    "SweepResult",
+    "SweepRunner",
+    "default_requests",
+    "default_store_dir",
+    "freeze_kwargs",
+    "run_point",
+]

@@ -1,0 +1,237 @@
+"""Sweep execution: store lookups, process fan-out, progress reporting.
+
+The runner resolves a spec into points, serves what it can from the
+:class:`~repro.exp.store.ResultStore`, and fans the remaining points out
+over a ``ProcessPoolExecutor``.  Every point is an independent simulation
+with its own deterministic seed (the seed is part of the point), so the
+parallel schedule cannot change any result: serial and ``jobs=N`` runs
+are bit-identical.  Only the parent process writes to the store.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.exp.spec import ExperimentPoint, ExperimentSpec
+from repro.exp.store import ResultStore
+from repro.sim.simulator import SimulationResult, Simulator
+
+_POINT_FIELDS = frozenset(ExperimentPoint.__dataclass_fields__)
+
+
+def run_point(point: ExperimentPoint) -> SimulationResult:
+    """Simulate one point, ignoring any store."""
+    return Simulator(point.config()).run()
+
+
+def _worker(point: ExperimentPoint) -> Tuple[ExperimentPoint, dict]:
+    """Subprocess entry: results travel back as plain dicts."""
+    return point, run_point(point).to_dict()
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick: ``completed`` of ``total`` points done."""
+
+    completed: int
+    total: int
+    point: ExperimentPoint
+    cached: bool
+
+
+class SweepResult(Mapping):
+    """Results of one sweep: a mapping from point to result.
+
+    Besides plain mapping access, :meth:`get` looks a single result up by
+    axis values (point fields and cache-kwarg names)::
+
+        sweep.get(workload="web_search", design="footprint", capacity_mb=256)
+        sweep.get(workload="web_search", fht_entries=1024)
+    """
+
+    def __init__(
+        self,
+        points: Iterable[ExperimentPoint],
+        results: Dict[ExperimentPoint, SimulationResult],
+        cached: Iterable[ExperimentPoint] = (),
+        simulated: Iterable[ExperimentPoint] = (),
+    ) -> None:
+        self.points = tuple(points)
+        self._results = dict(results)
+        self.cached = frozenset(cached)
+        self.simulated = frozenset(simulated)
+
+    def __getitem__(self, point: ExperimentPoint) -> SimulationResult:
+        return self._results[point]
+
+    def __iter__(self) -> Iterator[ExperimentPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def hits(self) -> int:
+        """Points served from the store."""
+        return len(self.cached)
+
+    @property
+    def misses(self) -> int:
+        """Points that had to be simulated.
+
+        Key-duplicate points (two spellings of one config) count in
+        neither bucket: they are filled from the duplicate's single run.
+        """
+        return len(self.simulated)
+
+    @staticmethod
+    def _matches(point: ExperimentPoint, filters: Dict[str, object]) -> bool:
+        kwargs = dict(point.cache_kwargs)
+        for name, wanted in filters.items():
+            if name in _POINT_FIELDS:
+                if getattr(point, name) != wanted:
+                    return False
+            elif name not in kwargs or kwargs[name] != wanted:
+                return False
+        return True
+
+    def select(self, **filters) -> List[Tuple[ExperimentPoint, SimulationResult]]:
+        """All (point, result) pairs matching the axis filters."""
+        return [
+            (point, self._results[point])
+            for point in self.points
+            if self._matches(point, filters)
+        ]
+
+    def get(self, **filters) -> SimulationResult:
+        """The unique result matching the axis filters."""
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise KeyError(
+                f"filters {filters!r} matched {len(matches)} points, expected 1"
+            )
+        return matches[0][1]
+
+
+class SweepRunner:
+    """Run sweeps against a store, optionally over multiple processes.
+
+    Parameters
+    ----------
+    store:
+        Result store consulted before and updated after each simulation;
+        None disables persistence entirely.
+    jobs:
+        Worker processes: 1 (default) runs in-process, 0 means one per
+        CPU, N > 1 uses a pool of N.
+    use_cache:
+        When False, stored results are ignored (but fresh results are
+        still written back) — the CLI's ``--no-cache``.
+    progress:
+        Optional callable receiving a :class:`SweepProgress` per point.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        self.store = store
+        self.jobs = jobs or os.cpu_count() or 1
+        self.use_cache = use_cache
+        self.progress = progress
+
+    def run_one(self, point: ExperimentPoint) -> SimulationResult:
+        """One point through the store: lookup, else simulate and record."""
+        if self.store is not None and self.use_cache:
+            hit = self.store.get(point)
+            if hit is not None:
+                return hit
+        result = run_point(point)
+        if self.store is not None:
+            self.store.put(point, result)
+        return result
+
+    def run(
+        self, spec: Union[ExperimentSpec, Iterable[ExperimentPoint]]
+    ) -> SweepResult:
+        """Execute every point of ``spec``; see :class:`SweepResult`."""
+        points = spec.points() if isinstance(spec, ExperimentSpec) else tuple(spec)
+        results: Dict[ExperimentPoint, SimulationResult] = {}
+        cached: List[ExperimentPoint] = []
+        pending: List[ExperimentPoint] = []
+        pending_keys = set()
+        for point in points:
+            hit = (
+                self.store.get(point)
+                if self.store is not None and self.use_cache
+                else None
+            )
+            if hit is not None:
+                results[point] = hit
+                cached.append(point)
+            elif point.key() not in pending_keys:
+                # Distinct spellings of one config (e.g. a default written
+                # out explicitly) simulate once and share the result.
+                pending_keys.add(point.key())
+                pending.append(point)
+
+        done = 0
+
+        def report(point: ExperimentPoint, was_cached: bool) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(SweepProgress(done, len(points), point, was_cached))
+
+        for point in cached:
+            report(point, True)
+
+        if pending:
+            jobs = min(self.jobs, len(pending))
+
+            def record(point: ExperimentPoint, result: SimulationResult) -> None:
+                results[point] = result
+                if self.store is not None:
+                    self.store.put(point, result)
+                report(point, False)
+
+            if jobs > 1:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    # Completion order, not submission order: each result
+                    # is persisted the moment its worker finishes, so an
+                    # interrupted sweep keeps everything already simulated.
+                    futures = [pool.submit(_worker, point) for point in pending]
+                    for future in as_completed(futures):
+                        point, data = future.result()
+                        record(point, SimulationResult.from_dict(data))
+            else:
+                for point in pending:
+                    record(point, run_point(point))
+
+        # Key-duplicate points were simulated once; fill in the rest.
+        # They count as neither store hits nor simulations.
+        by_key = {point.key(): result for point, result in results.items()}
+        for point in points:
+            if point not in results:
+                results[point] = by_key[point.key()]
+                report(point, True)
+
+        return SweepResult(points, results, cached, pending)

@@ -1,0 +1,212 @@
+"""Declarative experiment grids.
+
+An :class:`ExperimentPoint` names one simulation — (workload, design,
+capacity, seed, page size, cache kwargs) — and knows how to turn itself
+into a :class:`repro.sim.config.SimulationConfig` and into a stable
+content hash for the :class:`repro.exp.store.ResultStore`.  An
+:class:`ExperimentSpec` is the cross product of axis values: exactly the
+(design x capacity x workload) grids behind every figure of the paper,
+written as one hashable object instead of nested loops.
+
+Hashing is over the *resolved* configuration, so two spellings of the
+same experiment (say, ``singleton_optimization=True`` written out versus
+left at its default) share one store entry, and the capacity-independent
+no-cache baseline hashes identically at every nominal capacity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from itertools import product
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple, Union
+
+from repro.sim.config import DESIGNS, MB, SimulationConfig
+
+ENGINE_VERSION = "1"
+"""Bump to invalidate every stored result when simulator semantics change."""
+
+CacheKwargs = Tuple[Tuple[str, Any], ...]
+
+
+def default_requests(capacity_mb: int, scale: int = 256) -> int:
+    """Capacity-aware trace length: bigger caches need more evictions.
+
+    Mirrors the benches' sizing rule (see DESIGN notes in
+    ``benchmarks/common.py``): at least 120k requests, and 120 per
+    simulated 2KB page so large caches still warm their footprint history.
+    """
+    pages = capacity_mb * MB // scale // 2048
+    return max(120_000, pages * 120)
+
+
+def freeze_kwargs(kwargs: Union[Mapping[str, Any], Sequence[Tuple[str, Any]]]) -> CacheKwargs:
+    """Normalise cache kwargs to a sorted, hashable tuple of pairs."""
+    items = kwargs.items() if isinstance(kwargs, Mapping) else tuple(kwargs)
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One simulation in a sweep.
+
+    ``num_requests`` of 0 means "capacity-aware default"
+    (:func:`default_requests`).  ``capacity_mb`` is the *paper* capacity;
+    the baseline design is capacity-independent, so its capacity is
+    normalised to 0 and every nominal capacity maps to one stored result.
+    """
+
+    workload: str
+    design: str = "footprint"
+    capacity_mb: int = 256
+    scale: int = 256
+    num_requests: int = 0
+    seed: int = 0
+    page_size: int = 2048
+    cache_kwargs: CacheKwargs = ()
+
+    def __post_init__(self) -> None:
+        if self.design not in DESIGNS:
+            raise ValueError(f"unknown design {self.design!r}; one of {DESIGNS}")
+        if self.capacity_mb < 0:
+            raise ValueError("capacity_mb must be non-negative")
+        object.__setattr__(self, "cache_kwargs", freeze_kwargs(self.cache_kwargs))
+        if self.design == "baseline":
+            object.__setattr__(self, "capacity_mb", 0)
+
+    @property
+    def resolved_requests(self) -> int:
+        """Trace length after applying the capacity-aware default."""
+        return self.num_requests or default_requests(self.capacity_mb, self.scale)
+
+    def config(self) -> SimulationConfig:
+        """The full :class:`SimulationConfig` this point denotes."""
+        return SimulationConfig.scaled(
+            self.workload,
+            self.design,
+            self.capacity_mb,
+            scale=self.scale,
+            num_requests=self.resolved_requests,
+            seed=self.seed,
+            page_size=self.page_size,
+            **dict(self.cache_kwargs),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical description hashed into :meth:`key`.
+
+        Deliberately tagged with :data:`ENGINE_VERSION` only — not the
+        package version — so routine releases keep the store warm and
+        bumping the engine version is the one invalidation knob.
+        """
+        return {
+            "engine": ENGINE_VERSION,
+            "config": asdict(self.config()),
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the resolved config + engine version tag.
+
+        Computed once per point (the runner consults it several times per
+        sweep, and resolving the config is not free).
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            text = json.dumps(self.describe(), sort_keys=True, default=repr)
+            cached = hashlib.sha256(text.encode()).hexdigest()[:20]
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def label(self) -> str:
+        """Short human-readable name for progress lines."""
+        capacity = "-" if self.design == "baseline" else f"{self.capacity_mb}MB"
+        extras = "".join(f" {k}={v}" for k, v in self.cache_kwargs)
+        return f"{self.workload}/{self.design}/{capacity}{extras}"
+
+
+def _str_tuple(value: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    return (value,) if isinstance(value, str) else tuple(value)
+
+
+def _int_tuple(value: Union[int, Sequence[int]]) -> Tuple[int, ...]:
+    return (int(value),) if isinstance(value, int) else tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of :class:`ExperimentPoint`.
+
+    Every axis accepts a scalar or a sequence; ``cache_variants`` accepts
+    a dict (one variant) or a sequence of dicts / item tuples.  The grid
+    is the cross product of all axes, deduplicated (the baseline design
+    collapses across capacities).
+
+    >>> spec = ExperimentSpec(workloads="web_search",
+    ...                       designs=("page", "footprint"),
+    ...                       capacities_mb=(64, 256))
+    >>> len(spec)
+    4
+    """
+
+    workloads: Union[str, Tuple[str, ...]] = ("web_search",)
+    designs: Union[str, Tuple[str, ...]] = ("footprint",)
+    capacities_mb: Union[int, Tuple[int, ...]] = (256,)
+    seeds: Union[int, Tuple[int, ...]] = (0,)
+    page_sizes: Union[int, Tuple[int, ...]] = (2048,)
+    cache_variants: Any = ((),)
+    scale: int = 256
+    num_requests: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", _str_tuple(self.workloads))
+        object.__setattr__(self, "designs", _str_tuple(self.designs))
+        object.__setattr__(self, "capacities_mb", _int_tuple(self.capacities_mb))
+        object.__setattr__(self, "seeds", _int_tuple(self.seeds))
+        object.__setattr__(self, "page_sizes", _int_tuple(self.page_sizes))
+        variants = self.cache_variants
+        if isinstance(variants, Mapping):
+            variants = (variants,)
+        object.__setattr__(
+            self, "cache_variants", tuple(freeze_kwargs(v) for v in variants)
+        )
+        for name in ("workloads", "designs", "capacities_mb", "seeds", "page_sizes",
+                     "cache_variants"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} must not be empty")
+        for design in self.designs:
+            if design not in DESIGNS:
+                raise ValueError(f"unknown design {design!r}; one of {DESIGNS}")
+
+    def points(self) -> Tuple[ExperimentPoint, ...]:
+        """The deduplicated cross product, in deterministic grid order."""
+        seen = set()
+        out = []
+        for workload, design, capacity, seed, page_size, variant in product(
+            self.workloads,
+            self.designs,
+            self.capacities_mb,
+            self.seeds,
+            self.page_sizes,
+            self.cache_variants,
+        ):
+            point = ExperimentPoint(
+                workload=workload,
+                design=design,
+                capacity_mb=capacity,
+                scale=self.scale,
+                num_requests=self.num_requests,
+                seed=seed,
+                page_size=page_size,
+                cache_kwargs=variant,
+            )
+            if point not in seen:
+                seen.add(point)
+                out.append(point)
+        return tuple(out)
+
+    def __iter__(self) -> Iterator[ExperimentPoint]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return len(self.points())

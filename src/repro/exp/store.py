@@ -1,0 +1,100 @@
+"""Persistent result store: JSONL keyed by stable config hashes.
+
+Results live under ``benchmarks/results/cache/results.jsonl`` by default
+(override with the ``REPRO_RESULT_STORE`` environment variable or an
+explicit directory).  Each line is one record::
+
+    {"key": "<sha256 prefix>", "point": {...}, "result": {...}}
+
+The parent sweep process is the only writer; records are appended, the
+last record for a key wins, and unparseable (torn) lines are skipped on
+load.  Because the key hashes the *resolved* simulation config plus an
+engine-version tag (:meth:`repro.exp.spec.ExperimentPoint.key`), results
+persist across processes and pytest sessions and are invalidated in bulk
+by bumping :data:`repro.exp.spec.ENGINE_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+STORE_FILENAME = "results.jsonl"
+
+# The repo checkout this package lives in (src/repro/exp/ -> repo root).
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+
+
+def default_store_dir() -> str:
+    """The store directory: ``$REPRO_RESULT_STORE`` or the benches' dir.
+
+    Anchored to the repo checkout (not the cwd) so CLI runs, examples and
+    benches all share one store; an installed package without a
+    ``benchmarks/`` tree falls back to the working directory.
+    """
+    override = os.environ.get("REPRO_RESULT_STORE")
+    if override:
+        return override
+    root = _REPO_ROOT if os.path.isdir(os.path.join(_REPO_ROOT, "benchmarks")) else ""
+    return os.path.join(root, "benchmarks", "results", "cache")
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`SimulationResult` by config hash."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_store_dir()
+        self.path = os.path.join(self.directory, STORE_FILENAME)
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        if self._index is None:
+            index: Dict[str, Dict[str, Any]] = {}
+            if os.path.exists(self.path):
+                with open(self.path) as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                            index[record["key"]] = record["result"]
+                        except (json.JSONDecodeError, KeyError, TypeError):
+                            continue
+            self._index = index
+        return self._index
+
+    def get(self, point: ExperimentPoint) -> Optional[SimulationResult]:
+        """The stored result for ``point``, or None."""
+        record = self._load().get(point.key())
+        if record is None:
+            return None
+        return SimulationResult.from_dict(record)
+
+    def put(self, point: ExperimentPoint, result: SimulationResult) -> None:
+        """Persist ``result`` under ``point``'s config hash."""
+        record = {
+            "key": point.key(),
+            "point": point.describe(),
+            "result": result.to_dict(),
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._load()[record["key"]] = record["result"]
+
+    def invalidate(self) -> None:
+        """Forget the in-memory index (reload from disk on next access)."""
+        self._index = None
+
+    def __contains__(self, point: ExperimentPoint) -> bool:
+        return point.key() in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())

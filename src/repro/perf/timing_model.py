@@ -11,8 +11,8 @@ queueing inside :class:`repro.dram.controller.MemoryController`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,15 @@ class PerformanceResult:
     instructions: int
     elapsed_cycles: int
     num_cores: int
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serialisable form (see :class:`repro.exp.ResultStore`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "PerformanceResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
     @property
     def aggregate_ipc(self) -> float:

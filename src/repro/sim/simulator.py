@@ -9,8 +9,8 @@ design for an apples-to-apples comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from repro.caches.base import DramCache
 from repro.core.footprint_cache import FootprintCache
@@ -88,6 +88,22 @@ class SimulationResult:
         """Fractional performance improvement over another result."""
         return self.performance.improvement_over(baseline.performance)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form; stored results round-trip exactly.
+
+        Every field is an int, float, str or None, so ``json.dumps`` of
+        this dict and :meth:`from_dict` of the parsed text reproduce an
+        equal :class:`SimulationResult` (Python float repr round-trips).
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["performance"] = PerformanceResult.from_dict(payload["performance"])
+        return cls(**payload)
+
 
 class Simulator:
     """Run one :class:`SimulationConfig` to completion."""
@@ -112,7 +128,15 @@ class Simulator:
         perf = self.perf
         warmup = self.config.warmup_requests
         processed = 0
-        measured = 0
+
+        # Reset explicitly before replaying anything: the measured window
+        # then always starts from a known state, whether warm-up completes
+        # (reset again below), the trace ends early (degenerate short run:
+        # everything from here on is measured), or run() is called again
+        # on a reused simulator.
+        self.system.reset_stats()
+        perf.start_measurement()
+        measuring = warmup == 0
 
         requests: Iterable[MemoryRequest]
         if trace is None:
@@ -121,22 +145,18 @@ class Simulator:
             requests = iter(trace)
 
         for request in requests:
-            if processed == warmup:
+            if not measuring and processed == warmup:
                 self.system.reset_stats()
                 perf.start_measurement()
+                measuring = True
             now = perf.core_now(request.core_id)
             result = cache.access(request, now)
             perf.advance(request.core_id, request.instruction_count, result.latency)
             processed += 1
-            if processed > warmup:
-                measured += 1
             if processed >= self.config.num_requests:
                 break
 
-        if processed <= warmup:
-            # Degenerate short run: measure everything.
-            measured = processed
-
+        measured = processed - warmup if measuring else processed
         return self._summarise(measured)
 
     def _summarise(self, measured: int) -> SimulationResult:

@@ -22,6 +22,71 @@ class TestParser:
             build_parser().parse_args(["--design", "bogus"])
 
 
+class TestSweepParser:
+    def test_sweep_grid_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "web_search,mapreduce",
+             "--designs", "footprint,page", "--capacities", "64,256",
+             "--jobs", "2", "--no-cache"]
+        )
+        assert args.command == "sweep"
+        assert args.workloads == ("web_search", "mapreduce")
+        assert args.designs == ("footprint", "page")
+        assert args.capacities == (64, 256)
+        assert args.jobs == 2
+        assert args.no_cache
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workloads == ("web_search",)
+        assert args.designs == ("footprint",)
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert args.store is None
+
+    def test_single_run_has_no_command(self):
+        assert build_parser().parse_args([]).command is None
+
+
+class TestSweepMain:
+    def test_sweep_runs_and_recaches(self, tmp_path, capsys):
+        argv = ["sweep", "--workloads", "web_search", "--designs", "page",
+                "--capacities", "64,256", "--requests", "3000",
+                "--store", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+        assert "web_search/page/64MB" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "all points served from cache" in out
+        assert "2 cache hits" in out
+
+    def test_sweep_rejects_bad_grid_values(self, capsys):
+        for argv, message in (
+            (["sweep", "--workloads", "bogus"], "unknown workload"),
+            (["sweep", "--designs", "bogus"], "unknown design"),
+            (["sweep", "--capacities", "100"], "whole number of sets"),
+            (["sweep", "--page-sizes", "1000"], "power of two"),
+            (["sweep", "--requests", "-5"], "num_requests"),
+        ):
+            assert main(argv) == 2, argv
+            err = capsys.readouterr().err
+            assert err.startswith("error:"), argv
+            assert message in err, argv
+
+    def test_sweep_no_cache_resimulates(self, tmp_path, capsys):
+        argv = ["sweep", "--workloads", "web_search", "--designs", "page",
+                "--capacities", "64", "--requests", "3000",
+                "--store", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "1 simulated" in out
+
+
 class TestMain:
     def test_runs_footprint(self, capsys):
         code = main(

@@ -1,0 +1,235 @@
+"""Tests for the experiment engine: spec, runner, store."""
+
+import json
+
+import pytest
+
+import repro.exp.runner as runner_module
+from repro.exp import (
+    ExperimentPoint,
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    default_requests,
+    freeze_kwargs,
+    run_point,
+)
+from repro.sim.simulator import SimulationResult, quick_run
+
+N = 3_000  # tiny traces: these tests exercise plumbing, not the paper
+
+
+def small_spec(**overrides):
+    axes = dict(
+        workloads="web_search",
+        designs=("page", "baseline"),
+        capacities_mb=(64, 256),
+        num_requests=N,
+    )
+    axes.update(overrides)
+    return ExperimentSpec(**axes)
+
+
+class TestExperimentPoint:
+    def test_baseline_capacity_normalised(self):
+        a = ExperimentPoint(workload="web_search", design="baseline", capacity_mb=64)
+        b = ExperimentPoint(workload="web_search", design="baseline", capacity_mb=512)
+        assert a == b
+        assert a.key() == b.key()
+        assert a.capacity_mb == 0
+
+    def test_default_spelled_out_shares_key(self):
+        plain = ExperimentPoint(workload="web_search", capacity_mb=256)
+        explicit = ExperimentPoint(
+            workload="web_search", capacity_mb=256,
+            cache_kwargs={"singleton_optimization": True},
+        )
+        assert plain != explicit
+        assert plain.key() == explicit.key()
+
+    def test_key_distinguishes_configs(self):
+        base = ExperimentPoint(workload="web_search", capacity_mb=256)
+        keys = {
+            base.key(),
+            ExperimentPoint(workload="mapreduce", capacity_mb=256).key(),
+            ExperimentPoint(workload="web_search", capacity_mb=128).key(),
+            ExperimentPoint(workload="web_search", capacity_mb=256, seed=1).key(),
+            ExperimentPoint(workload="web_search", capacity_mb=256,
+                            cache_kwargs={"fht_entries": 64}).key(),
+        }
+        assert len(keys) == 5
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentPoint(workload="web_search", design="bogus")
+
+    def test_capacity_aware_default_requests(self):
+        point = ExperimentPoint(workload="web_search", capacity_mb=512)
+        assert point.resolved_requests == default_requests(512, 256)
+        assert default_requests(512, 256) > default_requests(64, 256) == 120_000
+
+    def test_cache_kwargs_normalised(self):
+        a = ExperimentPoint(workload="web_search",
+                            cache_kwargs=(("b", 2), ("a", 1)))
+        b = ExperimentPoint(workload="web_search", cache_kwargs={"a": 1, "b": 2})
+        assert a == b
+        assert freeze_kwargs({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+
+class TestExperimentSpec:
+    def test_grid_size_and_dedup(self):
+        # 1 workload x (2 page points + 1 deduped baseline)
+        assert len(small_spec()) == 3
+
+    def test_scalar_axes_accepted(self):
+        spec = ExperimentSpec(workloads="web_search", designs="page",
+                              capacities_mb=64, seeds=0, page_sizes=2048)
+        assert len(spec) == 1
+
+    def test_points_deterministic_order(self):
+        assert small_spec().points() == small_spec().points()
+
+    def test_spec_hashable(self):
+        assert hash(small_spec()) == hash(small_spec())
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(workloads=(), designs=("page",))
+
+
+class TestResultSerialization:
+    def test_round_trip_through_json(self):
+        result = quick_run("web_search", design="footprint", capacity_mb=64,
+                           num_requests=N)
+        restored = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+
+    def test_round_trip_preserves_optionals(self):
+        result = quick_run("web_search", design="page", capacity_mb=64,
+                           num_requests=N)
+        assert result.predictor_coverage is None
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored.predictor_coverage is None
+        assert restored == result
+
+
+class TestSweepRunner:
+    def test_serial_and_parallel_identical(self):
+        spec = small_spec()
+        serial = SweepRunner(store=None, jobs=1).run(spec)
+        parallel = SweepRunner(store=None, jobs=4).run(spec)
+        assert len(serial) == len(parallel) == 3
+        for point in spec:
+            assert serial[point].to_dict() == parallel[point].to_dict()
+
+    def test_second_run_entirely_from_store(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        first = SweepRunner(store=ResultStore(str(tmp_path))).run(spec)
+        assert first.misses == len(spec) and first.hits == 0
+
+        # A fresh store instance (new process, effectively) must serve every
+        # point without invoking the simulator at all.
+        def explode(point):
+            raise AssertionError(f"simulated {point.label()} despite cache")
+
+        monkeypatch.setattr(runner_module, "run_point", explode)
+        second = SweepRunner(store=ResultStore(str(tmp_path))).run(spec)
+        assert second.hits == len(spec) and second.misses == 0
+        for point in spec:
+            assert second[point] == first[point]
+
+    def test_no_cache_resimulates(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(str(tmp_path))
+        SweepRunner(store=store).run(spec)
+        again = SweepRunner(store=ResultStore(str(tmp_path)), use_cache=False).run(spec)
+        assert again.hits == 0 and again.misses == len(spec)
+
+    def test_key_duplicates_simulated_once(self, monkeypatch):
+        plain = ExperimentPoint(workload="web_search", design="page",
+                                capacity_mb=64, num_requests=N)
+        explicit = ExperimentPoint(workload="web_search", design="page",
+                                   capacity_mb=64, num_requests=N,
+                                   cache_kwargs={"associativity": 16})
+        calls = []
+        real = runner_module.run_point
+
+        def counting(point):
+            calls.append(point)
+            return real(point)
+
+        monkeypatch.setattr(runner_module, "run_point", counting)
+        result = SweepRunner(store=None).run([plain, explicit])
+        assert len(calls) == 1
+        assert result[plain] == result[explicit]
+        # The filled duplicate is neither a store hit nor a simulation.
+        assert result.hits == 0
+        assert result.misses == 1
+
+    def test_progress_reported_per_point(self):
+        ticks = []
+        SweepRunner(store=None, progress=ticks.append).run(small_spec())
+        assert [t.completed for t in ticks] == [1, 2, 3]
+        assert all(t.total == 3 for t in ticks)
+        assert not any(t.cached for t in ticks)
+
+    def test_run_one_uses_store(self, tmp_path):
+        point = ExperimentPoint(workload="web_search", design="page",
+                                capacity_mb=64, num_requests=N)
+        store = ResultStore(str(tmp_path))
+        first = SweepRunner(store=store).run_one(point)
+        assert store.get(point) == first
+        assert SweepRunner(store=ResultStore(str(tmp_path))).run_one(point) == first
+
+    def test_baseline_stored_capacity_independently(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        runner = SweepRunner(store=store)
+        at_64 = runner.run_one(
+            ExperimentPoint(workload="web_search", design="baseline",
+                            capacity_mb=64, num_requests=N)
+        )
+        hit = store.get(
+            ExperimentPoint(workload="web_search", design="baseline",
+                            capacity_mb=512, num_requests=N)
+        )
+        assert hit == at_64
+
+    def test_sweep_result_get_filters(self):
+        sweep = SweepRunner(store=None).run(small_spec())
+        page = sweep.get(design="page", capacity_mb=64)
+        assert page.design == "page"
+        assert sweep.get(design="baseline").design == "baseline"
+        with pytest.raises(KeyError):
+            sweep.get(design="page")  # ambiguous: two capacities
+        with pytest.raises(KeyError):
+            sweep.get(design="page", capacity_mb=999)  # no match
+
+
+class TestResultStore:
+    def test_persists_across_instances(self, tmp_path):
+        point = ExperimentPoint(workload="web_search", design="page",
+                                capacity_mb=64, num_requests=N)
+        result = run_point(point)
+        ResultStore(str(tmp_path)).put(point, result)
+        reloaded = ResultStore(str(tmp_path))
+        assert point in reloaded
+        assert reloaded.get(point) == result
+        assert len(reloaded) == 1
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        point = ExperimentPoint(workload="web_search", design="page",
+                                capacity_mb=64, num_requests=N)
+        result = run_point(point)
+        store = ResultStore(str(tmp_path))
+        store.put(point, result)
+        with open(store.path, "a") as handle:
+            handle.write("{torn record\n")
+        reloaded = ResultStore(str(tmp_path))
+        assert reloaded.get(point) == result
+
+    def test_missing_point_returns_none(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        point = ExperimentPoint(workload="web_search", design="page",
+                                capacity_mb=64, num_requests=N)
+        assert store.get(point) is None
+        assert point not in store
