@@ -13,7 +13,10 @@ processes, incremental across runs via the persistent result store::
         --capacities 64,256 --jobs 2
 
 A repeated sweep reports every point as a cache hit and finishes in
-milliseconds; ``--no-cache`` forces re-simulation.
+milliseconds; ``--no-cache`` forces re-simulation.  A sweep can also be
+loaded from a serialised :class:`~repro.exp.ExperimentSpec`::
+
+    python -m repro sweep --spec examples/specs/quick_sweep.json
 """
 
 from __future__ import annotations
@@ -23,8 +26,9 @@ import sys
 import time
 
 from repro.analysis.report import format_table, percent
+from repro.caches.registry import design_names
 from repro.exp import ExperimentSpec, ResultStore, SweepRunner
-from repro.sim.config import DESIGNS, SimulationConfig
+from repro.sim.config import SimulationConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
@@ -45,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Footprint Cache (ISCA 2013) reproduction: run one experiment.",
     )
     parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="web_search")
-    parser.add_argument("--design", choices=DESIGNS, default="footprint")
+    parser.add_argument("--design", choices=design_names(), default="footprint")
     parser.add_argument(
         "--capacity", type=int, default=256, metavar="MB",
         help="nominal (paper) cache capacity in MB (default 256)",
@@ -77,34 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment engine",
         description="Run a declarative experiment grid: points fan out over "
         "worker processes and land in the persistent result store, so "
-        "re-runs are incremental.",
+        "re-runs are incremental.  The grid comes from the axis flags "
+        "below, or from a serialised ExperimentSpec via --spec.",
     )
     sweep.add_argument(
-        "--workloads", type=_csv(str), default=("web_search",),
+        "--spec", default=None, metavar="FILE",
+        help="load the grid from an ExperimentSpec JSON file "
+        "(mutually exclusive with the axis flags)",
+    )
+    sweep.add_argument(
+        "--workloads", type=_csv(str), default=None,
         metavar="A,B,...", help="comma-separated workloads (default web_search)",
     )
     sweep.add_argument(
-        "--designs", type=_csv(str), default=("footprint",),
+        "--designs", type=_csv(str), default=None,
         metavar="A,B,...", help="comma-separated designs (default footprint)",
     )
     sweep.add_argument(
-        "--capacities", type=_csv(int), default=(256,),
+        "--capacities", type=_csv(int), default=None,
         metavar="MB,MB,...", help="comma-separated nominal capacities in MB",
     )
     sweep.add_argument(
-        "--seeds", type=_csv(int), default=(0,), metavar="N,N,...",
+        "--seeds", type=_csv(int), default=None, metavar="N,N,...",
         help="comma-separated trace seeds (default 0)",
     )
     sweep.add_argument(
-        "--page-sizes", type=_csv(int), default=(2048,), metavar="B,B,...",
+        "--page-sizes", type=_csv(int), default=None, metavar="B,B,...",
         help="comma-separated page sizes in bytes (default 2048)",
     )
     sweep.add_argument(
-        "--requests", type=int, default=0, dest="sweep_requests", metavar="N",
+        "--requests", type=int, default=None, dest="sweep_requests", metavar="N",
         help="trace length per point (default: capacity-aware)",
     )
     sweep.add_argument(
-        "--scale", type=int, default=256, dest="sweep_scale",
+        "--scale", type=int, default=None, dest="sweep_scale",
         help="capacity/dataset scale-down factor (default 256)",
     )
     sweep.add_argument(
@@ -168,25 +178,55 @@ def _run_single(args) -> int:
     return 0
 
 
+_GRID_FLAGS = (
+    ("workloads", "--workloads"),
+    ("designs", "--designs"),
+    ("capacities", "--capacities"),
+    ("seeds", "--seeds"),
+    ("page_sizes", "--page-sizes"),
+    ("sweep_requests", "--requests"),
+    ("sweep_scale", "--scale"),
+)
+
+
+def _sweep_spec(args) -> ExperimentSpec:
+    """The grid to run: from ``--spec FILE`` or from the axis flags."""
+    if args.spec is not None:
+        clashes = [flag for name, flag in _GRID_FLAGS if getattr(args, name) is not None]
+        if clashes:
+            raise ValueError(
+                f"--spec cannot be combined with axis flags ({', '.join(clashes)})"
+            )
+        try:
+            with open(args.spec) as handle:
+                return ExperimentSpec.from_json(handle.read())
+        except OSError as error:
+            raise ValueError(f"cannot read spec file: {error}") from None
+    # `is not None` throughout: an explicitly empty flag value (e.g. an
+    # unset shell variable in --workloads "$WL") must hit ExperimentSpec's
+    # must-not-be-empty validation, not silently become the default.
+    return ExperimentSpec(
+        workloads=args.workloads if args.workloads is not None else ("web_search",),
+        designs=args.designs if args.designs is not None else ("footprint",),
+        capacities_mb=args.capacities if args.capacities is not None else (256,),
+        seeds=args.seeds if args.seeds is not None else (0,),
+        page_sizes=args.page_sizes if args.page_sizes is not None else (2048,),
+        num_requests=args.sweep_requests if args.sweep_requests is not None else 0,
+        scale=args.sweep_scale if args.sweep_scale is not None else 256,
+    )
+
+
 def _run_sweep(args) -> int:
     try:
-        for workload in args.workloads:
+        spec = _sweep_spec(args)
+        for workload in spec.workloads:
             if workload not in WORKLOAD_NAMES:
                 raise ValueError(
                     f"unknown workload {workload!r}; one of {WORKLOAD_NAMES}"
                 )
-        spec = ExperimentSpec(
-            workloads=args.workloads,
-            designs=args.designs,
-            capacities_mb=args.capacities,
-            seeds=args.seeds,
-            page_sizes=args.page_sizes,
-            num_requests=args.sweep_requests,
-            scale=args.sweep_scale,
-        )
         for point in spec.points():
             point.config()  # surface capacity/page-size/request errors now
-    except ValueError as error:
+    except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     store = ResultStore(args.store)

@@ -12,10 +12,21 @@
   evaluated in Section 6.7.
 
 The Footprint Cache itself — the paper's contribution — lives in
-:mod:`repro.core`.
+:mod:`repro.core`.  Which designs exist at all is decided by the design
+registry (:mod:`repro.caches.registry`): each design registers a builder
+plus its row-buffer/address-mapping traits and overhead model, and
+third-party designs plug in through the same
+:func:`~repro.caches.registry.register_design` decorator.
 """
 
 from repro.caches.base import BaselineMemory, CacheAccessResult, DramCache
+from repro.caches.registry import (
+    DesignSpec,
+    design_names,
+    get_design,
+    register_design,
+    unregister_design,
+)
 from repro.caches.block_cache import BlockBasedCache
 from repro.caches.chop_cache import ChopCache
 from repro.caches.ideal_cache import IdealCache
@@ -28,7 +39,12 @@ from repro.caches.subblock_cache import SubBlockedCache
 __all__ = [
     "BaselineMemory",
     "CacheAccessResult",
+    "DesignSpec",
     "DramCache",
+    "design_names",
+    "get_design",
+    "register_design",
+    "unregister_design",
     "BlockBasedCache",
     "ChopCache",
     "IdealCache",

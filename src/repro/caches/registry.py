@@ -1,0 +1,374 @@
+"""Design registry: the plugin API behind every cache design.
+
+Each design the simulator can build is described by one
+:class:`DesignSpec`: a builder that instantiates the design over the two
+DRAM controllers, the row-buffer policies and address-mapping traits the
+paper assigns it (Section 5.2), and the Table 4 metadata/latency model
+behind :func:`repro.core.overheads.overheads_for`.  The built-in designs
+register themselves here; third-party designs use the same decorator
+(see ``examples/custom_design.py``)::
+
+    @register_design("mydesign", page_organised=True)
+    def build_mydesign(config, stacked, offchip):
+        return MyCache(stacked, offchip, capacity_bytes=config.capacity_bytes, ...)
+
+Everything that used to hard-code design names — ``DESIGNS`` in
+:mod:`repro.sim.config`, the if-chain in ``sim/system.py:build_cache``,
+the per-design branches of :func:`repro.core.overheads.overheads_for` —
+derives from this registry, so a registered design is immediately
+buildable, sweepable through :class:`repro.exp.ExperimentSpec`, and
+priced by the overhead model.
+
+Builders import their cache classes lazily so the registry can be
+imported from anywhere (``repro.sim.config`` validates against it) with
+no circular imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+from repro.core.overheads import (
+    DesignOverheads,
+    footprint_tag_bytes,
+    missmap_bytes,
+    missmap_entries_for,
+    page_tag_bytes,
+    sram_latency_cycles,
+)
+from repro.dram.bank import RowBufferPolicy
+
+if TYPE_CHECKING:
+    from repro.caches.base import DramCache
+    from repro.dram.controller import MemoryController
+    from repro.sim.config import CacheConfig
+
+Builder = Callable[
+    ["CacheConfig", Optional["MemoryController"], "MemoryController"], "DramCache"
+]
+OverheadModel = Callable[[int, int, int], DesignOverheads]
+
+INTERLEAVINGS = ("page", "row", "block")
+"""How a design stripes addresses over stacked-DRAM banks."""
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Everything the simulator needs to know about one cache design.
+
+    Attributes
+    ----------
+    name:
+        The design's identifier (``CacheConfig.design``).
+    builder:
+        ``(cache_config, stacked, offchip) -> DramCache``.  ``stacked``
+        is None iff ``needs_stacked`` is False.
+    description:
+        One line for ``--help`` and docs.
+    needs_stacked:
+        Whether the design uses the die-stacked DRAM at all (the no-cache
+        baseline does not).
+    capacity_independent:
+        The design's behaviour does not depend on ``capacity_bytes`` (the
+        no-cache baseline): the experiment engine normalises its capacity
+        away so every nominal capacity maps to one stored result.
+    page_organised:
+        Page-granular allocation: open-page row-buffer policies and
+        page-granular interleaving on both DRAM instances (Section 5.2).
+    stacked_policy / offchip_policy:
+        Row-buffer management per DRAM instance.
+    stacked_interleaving:
+        ``"page"`` (one page per row), ``"row"`` (one tag+data set per
+        row, the block design's compound-access layout) or ``"block"``
+        (64B striping for scattered accesses).  Defaults to ``"page"``
+        for page-organised designs and ``"block"`` otherwise, keeping
+        the Section 5.2 coupling without repetition.
+    overheads:
+        ``(capacity_bytes, page_size, associativity) -> DesignOverheads``
+        — the Table 4 metadata SRAM / lookup-latency model.  None means
+        the design carries no metadata (baseline, ideal).
+    """
+
+    name: str
+    builder: Builder
+    description: str = ""
+    needs_stacked: bool = True
+    capacity_independent: bool = False
+    page_organised: bool = False
+    stacked_policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE
+    offchip_policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE
+    stacked_interleaving: Optional[str] = None
+    overheads: Optional[OverheadModel] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"design name {self.name!r} must be an identifier")
+        if self.stacked_interleaving is None:
+            object.__setattr__(
+                self,
+                "stacked_interleaving",
+                "page" if self.page_organised else "block",
+            )
+        if self.stacked_interleaving not in INTERLEAVINGS:
+            raise ValueError(
+                f"stacked_interleaving must be one of {INTERLEAVINGS}, "
+                f"got {self.stacked_interleaving!r}"
+            )
+
+    def design_overheads(
+        self, capacity_bytes: int, page_size: int = 2048, associativity: int = 16
+    ) -> DesignOverheads:
+        """Table 4 row for this design (zero metadata when no model)."""
+        if self.overheads is None:
+            return DesignOverheads(self.name, capacity_bytes, 0, 0)
+        return self.overheads(capacity_bytes, page_size, associativity)
+
+    def traits(self) -> Dict[str, Any]:
+        """The construction-relevant declarative traits, JSON-ready.
+
+        Hashed into experiment-store keys (next to the resolved config)
+        so a design re-registered with different traits — say a custom
+        design switching interleaving between runs — cannot serve stale
+        cached results.  Code (the builder, the overhead model) cannot
+        be hashed; trait changes are the registry-level analogue of a
+        :data:`repro.exp.spec.ENGINE_VERSION` bump for one design.
+        """
+        return {
+            "name": self.name,
+            "needs_stacked": self.needs_stacked,
+            "capacity_independent": self.capacity_independent,
+            "page_organised": self.page_organised,
+            "stacked_policy": self.stacked_policy.name,
+            "offchip_policy": self.offchip_policy.name,
+            "stacked_interleaving": self.stacked_interleaving,
+        }
+
+
+_REGISTRY: Dict[str, DesignSpec] = {}
+_BUILTIN: set = set()
+
+
+def register(spec: DesignSpec) -> DesignSpec:
+    """Register a fully-formed :class:`DesignSpec`.
+
+    Duplicate names are rejected: a design is a global identity (config
+    validation, store hashes and CLI flags all name it), so silently
+    replacing one would corrupt every consumer.
+    """
+    if spec.name in _REGISTRY:
+        raise ValueError(f"design {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register_design(name: str, **traits) -> Callable[[Builder], Builder]:
+    """Decorator form of :func:`register`: wrap a builder function.
+
+    >>> @register_design("noop2", needs_stacked=False)   # doctest: +SKIP
+    ... def build_noop(config, stacked, offchip):
+    ...     return BaselineMemory(stacked, offchip)
+    """
+
+    def decorate(builder: Builder) -> Builder:
+        register(DesignSpec(name=name, builder=builder, **traits))
+        return builder
+
+    return decorate
+
+
+def unregister_design(name: str) -> None:
+    """Remove a previously registered non-built-in design (for tests)."""
+    if name in _BUILTIN:
+        raise ValueError(f"cannot unregister built-in design {name!r}")
+    if name not in _REGISTRY:
+        raise ValueError(f"design {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_design(name: str) -> DesignSpec:
+    """The :class:`DesignSpec` for ``name`` (ValueError when unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown design {name!r}; one of {design_names()}"
+        ) from None
+
+
+def design_names() -> Tuple[str, ...]:
+    """Every registered design, in registration order (built-ins first)."""
+    return tuple(_REGISTRY)
+
+
+def is_builtin(name: str) -> bool:
+    """True if ``name`` ships with the package."""
+    return name in _BUILTIN
+
+
+# --------------------------------------------------------------------------
+# Built-in designs (paper Table 1 / Table 4).  Builders import lazily so
+# the registry itself stays import-light.
+# --------------------------------------------------------------------------
+
+
+def _sram_overheads(name: str, tag_bytes_fn) -> OverheadModel:
+    def model(capacity_bytes: int, page_size: int, associativity: int) -> DesignOverheads:
+        storage = tag_bytes_fn(capacity_bytes, page_size, associativity)
+        return DesignOverheads(name, capacity_bytes, storage, sram_latency_cycles(storage))
+
+    return model
+
+
+def _missmap_overheads(capacity_bytes: int, page_size: int, associativity: int) -> DesignOverheads:
+    storage = missmap_bytes(missmap_entries_for(capacity_bytes))
+    return DesignOverheads("block", capacity_bytes, storage, sram_latency_cycles(storage))
+
+
+@register_design(
+    "baseline",
+    description="no DRAM cache: every request goes off-chip",
+    needs_stacked=False,
+    capacity_independent=True,
+)
+def _build_baseline(config, stacked, offchip):
+    from repro.caches.base import BaselineMemory
+
+    return BaselineMemory(stacked, offchip)
+
+
+@register_design(
+    "block",
+    description="block-based cache, tags in DRAM, MissMap in SRAM (Loh-Hill)",
+    stacked_policy=RowBufferPolicy.CLOSE_PAGE,
+    offchip_policy=RowBufferPolicy.CLOSE_PAGE,
+    stacked_interleaving="row",
+    overheads=_missmap_overheads,
+)
+def _build_block(config, stacked, offchip):
+    from repro.caches.block_cache import BlockBasedCache
+    from repro.caches.missmap import MissMap
+
+    entries = config.missmap_entries or missmap_entries_for(config.capacity_bytes)
+    associativity = config.missmap_associativity
+    entries = max(associativity, entries // associativity * associativity)
+    missmap = MissMap(
+        num_entries=entries,
+        associativity=associativity,
+        latency_cycles=config.resolved_tag_latency(),
+    )
+    return BlockBasedCache(
+        stacked,
+        offchip,
+        capacity_bytes=config.capacity_bytes,
+        missmap=missmap,
+        data_blocks_per_row=config.block_data_blocks_per_row,
+    )
+
+
+@register_design(
+    "page",
+    description="page-based cache: SRAM tags, whole-page fetch",
+    page_organised=True,
+    overheads=_sram_overheads("page", page_tag_bytes),
+)
+def _build_page(config, stacked, offchip):
+    from repro.caches.page_cache import PageBasedCache
+
+    return PageBasedCache(
+        stacked,
+        offchip,
+        capacity_bytes=config.capacity_bytes,
+        page_size=config.page_size,
+        associativity=config.associativity,
+        tag_latency=config.resolved_tag_latency(),
+    )
+
+
+@register_design(
+    "footprint",
+    description="Footprint Cache: page allocation, predicted-footprint fetch",
+    page_organised=True,
+    overheads=_sram_overheads("footprint", footprint_tag_bytes),
+)
+def _build_footprint(config, stacked, offchip):
+    from repro.core.footprint_cache import FootprintCache
+    from repro.core.footprint_predictor import FootprintHistoryTable
+    from repro.core.singleton_table import SingletonTable
+
+    blocks_per_page = config.page_size // 64
+    fht = FootprintHistoryTable(
+        num_entries=config.fht_entries,
+        associativity=config.fht_associativity,
+        blocks_per_page=blocks_per_page,
+        index_mode=config.fht_index_mode,
+    )
+    singleton = (
+        SingletonTable(num_entries=config.singleton_entries)
+        if config.singleton_optimization
+        else None
+    )
+    return FootprintCache(
+        stacked,
+        offchip,
+        capacity_bytes=config.capacity_bytes,
+        page_size=config.page_size,
+        associativity=config.associativity,
+        tag_latency=config.resolved_tag_latency(),
+        fht=fht,
+        singleton_table=singleton,
+        singleton_optimization=config.singleton_optimization,
+    )
+
+
+@register_design(
+    "subblock",
+    description="sub-blocked cache: page allocation, demand-block fetch",
+    page_organised=True,
+    overheads=_sram_overheads("subblock", footprint_tag_bytes),
+)
+def _build_subblock(config, stacked, offchip):
+    from repro.caches.subblock_cache import SubBlockedCache
+
+    return SubBlockedCache(
+        stacked,
+        offchip,
+        capacity_bytes=config.capacity_bytes,
+        page_size=config.page_size,
+        associativity=config.associativity,
+        tag_latency=config.resolved_tag_latency(),
+    )
+
+
+@register_design(
+    "chop",
+    description="CHOP-style hot-page filter cache (Section 6.7)",
+    page_organised=True,
+    overheads=_sram_overheads("chop", page_tag_bytes),
+)
+def _build_chop(config, stacked, offchip):
+    from repro.caches.chop_cache import ChopCache
+
+    return ChopCache(
+        stacked,
+        offchip,
+        capacity_bytes=config.capacity_bytes,
+        page_size=config.page_size,
+        associativity=config.associativity,
+        tag_latency=config.resolved_tag_latency(),
+        hot_threshold=config.chop_hot_threshold,
+        filter_entries=config.chop_filter_entries,
+    )
+
+
+@register_design(
+    "ideal",
+    description="die-stacked main memory: never misses, no tag overhead",
+)
+def _build_ideal(config, stacked, offchip):
+    from repro.caches.ideal_cache import IdealCache
+
+    return IdealCache(stacked, offchip)
+
+
+_BUILTIN.update(_REGISTRY)

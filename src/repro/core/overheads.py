@@ -119,30 +119,24 @@ def overheads_for(
     capacity_bytes: int,
     page_size: int = 2048,
     associativity: int = 16,
-    fht_storage_bytes: int = 144 * 1024,
 ) -> DesignOverheads:
     """Table 4 row for ``design`` at ``capacity_bytes``.
 
-    ``design`` is one of ``footprint``, ``page``, ``block``, ``subblock``,
-    ``chop``, ``ideal`` or ``baseline``.  For the block design, the
-    reported storage/latency is the MissMap's (the tags are in DRAM); for
-    ideal/baseline there is no metadata.
+    The metadata model is the registered design's
+    (:mod:`repro.caches.registry`): for the block design, the reported
+    storage/latency is the MissMap's (the tags are in DRAM); ideal,
+    baseline and any custom design without a declared model carry no
+    metadata.
     """
+    # Imported here: the registry declares the built-in overhead models
+    # in terms of this module's sizing functions.
+    from repro.caches.registry import get_design
+
     if capacity_bytes < 0:
         raise ValueError("capacity_bytes must be non-negative")
-    if design in ("ideal", "baseline"):
-        return DesignOverheads(design, capacity_bytes, 0, 0)
-    if design in ("footprint", "subblock"):
-        storage = footprint_tag_bytes(capacity_bytes, page_size, associativity)
-        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
-    if design in ("page", "chop"):
-        storage = page_tag_bytes(capacity_bytes, page_size, associativity)
-        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
-    if design == "block":
-        entries = missmap_entries_for(capacity_bytes)
-        storage = missmap_bytes(entries)
-        return DesignOverheads(design, capacity_bytes, storage, sram_latency_cycles(storage))
-    raise ValueError(f"unknown design {design!r}")
+    return get_design(design).design_overheads(
+        capacity_bytes, page_size=page_size, associativity=associativity
+    )
 
 
 def table4(capacities_mb=(64, 128, 256, 512)) -> Dict[str, Dict[int, DesignOverheads]]:

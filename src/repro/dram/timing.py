@@ -85,26 +85,43 @@ class DramTiming:
         """Latency when another row is open: PRE, ACT, CAS."""
         return self.t_rp + self.t_rcd + self.t_cas
 
+    def with_latency_scale(self, scale: float) -> "DramTiming":
+        """A device with every core timing latency scaled by ``scale``.
+
+        Scaled values floor (so ``scale=0.5`` matches the paper's
+        "halved latency" device [24] exactly) and never drop below one
+        bus cycle.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+
+        def scaled(cycles: int) -> int:
+            return max(1, int(cycles * scale))
+
+        return replace(
+            self,
+            name=f"{self.name}-latency-x{scale:g}",
+            t_cas=scaled(self.t_cas),
+            t_rcd=scaled(self.t_rcd),
+            t_rp=scaled(self.t_rp),
+            t_ras=scaled(self.t_ras),
+            t_rc=scaled(self.t_rc),
+            t_wr=scaled(self.t_wr),
+            t_wtr=scaled(self.t_wtr),
+            t_rtp=scaled(self.t_rtp),
+            t_rrd=scaled(self.t_rrd),
+            t_faw=scaled(self.t_faw),
+        )
+
     def with_halved_latency(self) -> "DramTiming":
         """A hypothetical device with half the core timing latencies.
 
         Used by the Fig. 1 opportunity study ("High-BW & Low-Latency"),
         which models stacked DRAM with halved latency [24].
         """
-        return replace(
-            self,
-            name=f"{self.name}-half-latency",
-            t_cas=max(1, self.t_cas // 2),
-            t_rcd=max(1, self.t_rcd // 2),
-            t_rp=max(1, self.t_rp // 2),
-            t_ras=max(1, self.t_ras // 2),
-            t_rc=max(1, self.t_rc // 2),
-            t_wr=max(1, self.t_wr // 2),
-            t_wtr=max(1, self.t_wtr // 2),
-            t_rtp=max(1, self.t_rtp // 2),
-            t_rrd=max(1, self.t_rrd // 2),
-            t_faw=max(1, self.t_faw // 2),
-        )
+        return self.with_latency_scale(0.5)
 
 
 OFF_CHIP_DDR3_1600 = DramTiming(
@@ -145,3 +162,46 @@ STACKED_DDR3_3200 = DramTiming(
     t_faw=24,
 )
 """Die-stacked channel: DDR3-3200 on a 128-bit TSV bus, 4 channels per pod."""
+
+
+TIMING_PRESETS = {
+    "ddr3_1600": OFF_CHIP_DDR3_1600,
+    "ddr3_3200": STACKED_DDR3_3200,
+}
+"""Named device parameter sets referencable from a declarative config."""
+
+ROLE_DEFAULTS = {
+    "offchip": OFF_CHIP_DDR3_1600,
+    "stacked": STACKED_DDR3_3200,
+}
+"""The paper's Table 3 device per DRAM role (preset name ``"default"``)."""
+
+
+def register_timing_preset(name: str, timing: DramTiming) -> DramTiming:
+    """Make a device parameter set nameable from declarative configs.
+
+    Duplicates are rejected — preset names participate in result-store
+    hashes, so redefining one would silently alias distinct experiments.
+    """
+    if name == "default" or name in TIMING_PRESETS:
+        raise ValueError(f"timing preset {name!r} is already defined")
+    TIMING_PRESETS[name] = timing
+    return timing
+
+
+def timing_preset(name: str, role: str = "stacked") -> DramTiming:
+    """Resolve a preset name (``"default"`` means the role's Table 3 device)."""
+    if name == "default":
+        try:
+            return ROLE_DEFAULTS[role]
+        except KeyError:
+            raise ValueError(
+                f"unknown DRAM role {role!r}; one of {tuple(ROLE_DEFAULTS)}"
+            ) from None
+    try:
+        return TIMING_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown timing preset {name!r}; one of "
+            f"{('default',) + tuple(TIMING_PRESETS)}"
+        ) from None

@@ -3,7 +3,8 @@
 The engine turns the paper's figure grids into three composable pieces:
 
 * :class:`~repro.exp.spec.ExperimentSpec` — a declarative, hashable grid
-  over workload / design / capacity / seed / page size / cache kwargs;
+  over workload / design / capacity / seed / page size and cache /
+  system / timing variants;
 * :class:`~repro.exp.runner.SweepRunner` — fans grid points out over a
   process pool with deterministic per-point seeds;
 * :class:`~repro.exp.store.ResultStore` — a JSONL store keyed by a
@@ -29,6 +30,7 @@ from repro.exp.spec import (
     ExperimentSpec,
     default_requests,
     freeze_kwargs,
+    split_timing_kwargs,
 )
 from repro.exp.store import ResultStore, default_store_dir
 
@@ -44,4 +46,5 @@ __all__ = [
     "default_store_dir",
     "freeze_kwargs",
     "run_point",
+    "split_timing_kwargs",
 ]

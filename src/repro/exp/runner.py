@@ -56,10 +56,11 @@ class SweepResult(Mapping):
     """Results of one sweep: a mapping from point to result.
 
     Besides plain mapping access, :meth:`get` looks a single result up by
-    axis values (point fields and cache-kwarg names)::
+    axis values (point fields and cache/system/timing override names)::
 
         sweep.get(workload="web_search", design="footprint", capacity_mb=256)
         sweep.get(workload="web_search", fht_entries=1024)
+        sweep.get(workload="web_search", stacked_latency_scale=0.5)
     """
 
     def __init__(
@@ -100,6 +101,8 @@ class SweepResult(Mapping):
     @staticmethod
     def _matches(point: ExperimentPoint, filters: Dict[str, object]) -> bool:
         kwargs = dict(point.cache_kwargs)
+        kwargs.update(point.system_kwargs)
+        kwargs.update(point.timing_kwargs)
         for name, wanted in filters.items():
             if name in _POINT_FIELDS:
                 if getattr(point, name) != wanted:

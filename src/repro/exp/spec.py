@@ -1,33 +1,62 @@
 """Declarative experiment grids.
 
 An :class:`ExperimentPoint` names one simulation — (workload, design,
-capacity, seed, page size, cache kwargs) — and knows how to turn itself
-into a :class:`repro.sim.config.SimulationConfig` and into a stable
-content hash for the :class:`repro.exp.store.ResultStore`.  An
+capacity, seed, page size, cache/system/timing overrides) — and knows how
+to turn itself into a :class:`repro.sim.config.SimulationConfig` and into
+a stable content hash for the :class:`repro.exp.store.ResultStore`.  An
 :class:`ExperimentSpec` is the cross product of axis values: exactly the
 (design x capacity x workload) grids behind every figure of the paper,
-written as one hashable object instead of nested loops.
+written as one hashable object instead of nested loops.  System and
+timing variants are first-class axes, so studies like Fig. 1 (half-latency
+stacked DRAM) and Section 6.3 (extra L2 in the baseline) are one-spec
+sweeps like everything else::
+
+    ExperimentSpec(workloads="web_search", designs="ideal",
+                   timing_variants=({}, {"stacked_latency_scale": 0.5}))
 
 Hashing is over the *resolved* configuration, so two spellings of the
 same experiment (say, ``singleton_optimization=True`` written out versus
 left at its default) share one store entry, and the capacity-independent
-no-cache baseline hashes identically at every nominal capacity.
+no-cache baseline hashes identically at every nominal capacity.  Because
+the resolved config embeds the system and timing variants, points that
+differ only in a variant hash — and therefore cache — distinctly.
+
+Specs serialise: :meth:`ExperimentSpec.to_json` /
+:meth:`ExperimentSpec.from_json` round-trip exactly, and
+``python -m repro sweep --spec spec.json`` runs a sweep from a file.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from itertools import product
-from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.sim.config import DESIGNS, MB, SimulationConfig
+from repro.caches.registry import design_names, get_design
+from repro.sim.config import (
+    MB,
+    SimulationConfig,
+    TimingConfig,
+    make_system_config,
+)
 
-ENGINE_VERSION = "1"
-"""Bump to invalidate every stored result when simulator semantics change."""
+ENGINE_VERSION = "2"
+"""Bump to invalidate every stored result when simulator semantics change.
+
+History: "1" — the original engine; "2" — the declarative-configuration
+redesign (timing/system variants entered the resolved config and every
+hash).
+"""
 
 CacheKwargs = Tuple[Tuple[str, Any], ...]
+
+_TIMING_ROLES = ("stacked", "offchip")
+_TIMING_FIELDS = tuple(f.name for f in fields(TimingConfig))
+_TIMING_KEYS = tuple(
+    f"{role}_{name}" for role in _TIMING_ROLES for name in _TIMING_FIELDS
+)
 
 
 def default_requests(capacity_mb: int, scale: int = 256) -> int:
@@ -42,9 +71,32 @@ def default_requests(capacity_mb: int, scale: int = 256) -> int:
 
 
 def freeze_kwargs(kwargs: Union[Mapping[str, Any], Sequence[Tuple[str, Any]]]) -> CacheKwargs:
-    """Normalise cache kwargs to a sorted, hashable tuple of pairs."""
+    """Normalise override kwargs to a sorted, hashable tuple of pairs."""
     items = kwargs.items() if isinstance(kwargs, Mapping) else tuple(kwargs)
     return tuple(sorted((str(key), value) for key, value in items))
+
+
+def split_timing_kwargs(
+    kwargs: Union[Mapping[str, Any], Sequence[Tuple[str, Any]]],
+) -> Tuple[TimingConfig, TimingConfig]:
+    """Turn role-prefixed timing overrides into the two timing configs.
+
+    Keys are ``stacked_<field>`` / ``offchip_<field>`` where ``<field>``
+    is a :class:`~repro.sim.config.TimingConfig` field, e.g.
+    ``{"stacked_latency_scale": 0.5}`` or ``{"offchip_preset": "ddr3_3200"}``.
+    """
+    per_role: Dict[str, Dict[str, Any]] = {role: {} for role in _TIMING_ROLES}
+    for key, value in freeze_kwargs(kwargs):
+        if key not in _TIMING_KEYS:
+            raise ValueError(
+                f"unknown timing override {key!r}; one of {_TIMING_KEYS}"
+            )
+        role, _, name = key.partition("_")
+        per_role[role][name] = value
+    return (
+        TimingConfig(**per_role["stacked"]),
+        TimingConfig(**per_role["offchip"]),
+    )
 
 
 @dataclass(frozen=True)
@@ -55,6 +107,10 @@ class ExperimentPoint:
     (:func:`default_requests`).  ``capacity_mb`` is the *paper* capacity;
     the baseline design is capacity-independent, so its capacity is
     normalised to 0 and every nominal capacity maps to one stored result.
+    ``system_kwargs`` overrides :class:`~repro.sim.config.SystemConfig`
+    fields; ``timing_kwargs`` holds role-prefixed
+    :class:`~repro.sim.config.TimingConfig` overrides
+    (see :func:`split_timing_kwargs`).
     """
 
     workload: str
@@ -65,14 +121,26 @@ class ExperimentPoint:
     seed: int = 0
     page_size: int = 2048
     cache_kwargs: CacheKwargs = ()
+    system_kwargs: CacheKwargs = ()
+    timing_kwargs: CacheKwargs = ()
 
     def __post_init__(self) -> None:
-        if self.design not in DESIGNS:
-            raise ValueError(f"unknown design {self.design!r}; one of {DESIGNS}")
+        if self.design not in design_names():
+            raise ValueError(
+                f"unknown design {self.design!r}; one of {design_names()}"
+            )
         if self.capacity_mb < 0:
             raise ValueError("capacity_mb must be non-negative")
         object.__setattr__(self, "cache_kwargs", freeze_kwargs(self.cache_kwargs))
-        if self.design == "baseline":
+        object.__setattr__(self, "system_kwargs", freeze_kwargs(self.system_kwargs))
+        object.__setattr__(self, "timing_kwargs", freeze_kwargs(self.timing_kwargs))
+        make_system_config(dict(self.system_kwargs))  # fail fast on bad fields
+        # Fail fast on bad timing keys AND bad values (unknown presets
+        # would otherwise only explode mid-sweep, at key()/build time).
+        stacked_timing, offchip_timing = split_timing_kwargs(self.timing_kwargs)
+        stacked_timing.resolve("stacked")
+        offchip_timing.resolve("offchip")
+        if get_design(self.design).capacity_independent:
             object.__setattr__(self, "capacity_mb", 0)
 
     @property
@@ -82,6 +150,7 @@ class ExperimentPoint:
 
     def config(self) -> SimulationConfig:
         """The full :class:`SimulationConfig` this point denotes."""
+        stacked_timing, offchip_timing = split_timing_kwargs(self.timing_kwargs)
         return SimulationConfig.scaled(
             self.workload,
             self.design,
@@ -90,6 +159,9 @@ class ExperimentPoint:
             num_requests=self.resolved_requests,
             seed=self.seed,
             page_size=self.page_size,
+            system_overrides=dict(self.system_kwargs),
+            stacked_timing=stacked_timing,
+            offchip_timing=offchip_timing,
             **dict(self.cache_kwargs),
         )
 
@@ -98,11 +170,38 @@ class ExperimentPoint:
 
         Deliberately tagged with :data:`ENGINE_VERSION` only — not the
         package version — so routine releases keep the store warm and
-        bumping the engine version is the one invalidation knob.
+        bumping the engine version is the one invalidation knob.  The
+        resolved config embeds system and timing variants, so every
+        degree of freedom of a run is visible to the hash.
+
+        Timing configs are hashed as the *resolved device parameters*,
+        not the preset name: a user-registered preset redefined between
+        runs must not serve stale results, and two spellings of the same
+        device (``preset="ddr3_3200"`` on the stacked role versus the
+        default) must share one store entry.  The device's display
+        ``name`` is cosmetic and excluded.  The registered design's
+        declarative traits are hashed for the same reason — a custom
+        design re-registered with, say, a different interleaving must
+        not alias its earlier results (its *code* cannot be hashed; see
+        :meth:`repro.caches.registry.DesignSpec.traits`).
         """
+        spec = get_design(self.design)
+        config = self.config()
+        payload = asdict(config)
+        for role in ("stacked", "offchip"):
+            timing = asdict(getattr(config, f"{role}_timing").resolve(role))
+            del timing["name"]
+            payload[f"{role}_timing"] = timing
+        if not spec.needs_stacked:
+            # No stacked controller is ever built (the baseline): stacked
+            # timing is a degenerate degree of freedom, normalised away
+            # like the baseline's capacity so a Fig. 1-style grid does
+            # not fork (or re-run) identical baseline simulations.
+            payload["stacked_timing"] = None
         return {
             "engine": ENGINE_VERSION,
-            "config": asdict(self.config()),
+            "design_traits": spec.traits(),
+            "config": payload,
         }
 
     def key(self) -> str:
@@ -120,8 +219,15 @@ class ExperimentPoint:
 
     def label(self) -> str:
         """Short human-readable name for progress lines."""
-        capacity = "-" if self.design == "baseline" else f"{self.capacity_mb}MB"
-        extras = "".join(f" {k}={v}" for k, v in self.cache_kwargs)
+        capacity = (
+            "-"
+            if get_design(self.design).capacity_independent
+            else f"{self.capacity_mb}MB"
+        )
+        extras = "".join(
+            f" {k}={v}"
+            for k, v in self.cache_kwargs + self.system_kwargs + self.timing_kwargs
+        )
         return f"{self.workload}/{self.design}/{capacity}{extras}"
 
 
@@ -133,14 +239,20 @@ def _int_tuple(value: Union[int, Sequence[int]]) -> Tuple[int, ...]:
     return (int(value),) if isinstance(value, int) else tuple(int(v) for v in value)
 
 
+def _variant_tuple(value: Any) -> Tuple[CacheKwargs, ...]:
+    if isinstance(value, Mapping):
+        value = (value,)
+    return tuple(freeze_kwargs(v) for v in value)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A declarative grid of :class:`ExperimentPoint`.
 
-    Every axis accepts a scalar or a sequence; ``cache_variants`` accepts
-    a dict (one variant) or a sequence of dicts / item tuples.  The grid
-    is the cross product of all axes, deduplicated (the baseline design
-    collapses across capacities).
+    Every axis accepts a scalar or a sequence; the ``*_variants`` axes
+    accept a dict (one variant) or a sequence of dicts / item tuples.
+    The grid is the cross product of all axes, deduplicated (the baseline
+    design collapses across capacities).
 
     >>> spec = ExperimentSpec(workloads="web_search",
     ...                       designs=("page", "footprint"),
@@ -155,6 +267,8 @@ class ExperimentSpec:
     seeds: Union[int, Tuple[int, ...]] = (0,)
     page_sizes: Union[int, Tuple[int, ...]] = (2048,)
     cache_variants: Any = ((),)
+    system_variants: Any = ((),)
+    timing_variants: Any = ((),)
     scale: int = 256
     num_requests: int = 0
 
@@ -164,31 +278,32 @@ class ExperimentSpec:
         object.__setattr__(self, "capacities_mb", _int_tuple(self.capacities_mb))
         object.__setattr__(self, "seeds", _int_tuple(self.seeds))
         object.__setattr__(self, "page_sizes", _int_tuple(self.page_sizes))
-        variants = self.cache_variants
-        if isinstance(variants, Mapping):
-            variants = (variants,)
-        object.__setattr__(
-            self, "cache_variants", tuple(freeze_kwargs(v) for v in variants)
-        )
+        for name in ("cache_variants", "system_variants", "timing_variants"):
+            object.__setattr__(self, name, _variant_tuple(getattr(self, name)))
         for name in ("workloads", "designs", "capacities_mb", "seeds", "page_sizes",
-                     "cache_variants"):
+                     "cache_variants", "system_variants", "timing_variants"):
             if not getattr(self, name):
                 raise ValueError(f"{name} must not be empty")
         for design in self.designs:
-            if design not in DESIGNS:
-                raise ValueError(f"unknown design {design!r}; one of {DESIGNS}")
+            if design not in design_names():
+                raise ValueError(
+                    f"unknown design {design!r}; one of {design_names()}"
+                )
 
     def points(self) -> Tuple[ExperimentPoint, ...]:
         """The deduplicated cross product, in deterministic grid order."""
         seen = set()
         out = []
-        for workload, design, capacity, seed, page_size, variant in product(
+        for (workload, design, capacity, seed, page_size,
+             cache_variant, system_variant, timing_variant) in product(
             self.workloads,
             self.designs,
             self.capacities_mb,
             self.seeds,
             self.page_sizes,
             self.cache_variants,
+            self.system_variants,
+            self.timing_variants,
         ):
             point = ExperimentPoint(
                 workload=workload,
@@ -198,7 +313,9 @@ class ExperimentSpec:
                 num_requests=self.num_requests,
                 seed=seed,
                 page_size=page_size,
-                cache_kwargs=variant,
+                cache_kwargs=cache_variant,
+                system_kwargs=system_variant,
+                timing_kwargs=timing_variant,
             )
             if point not in seen:
                 seen.add(point)
@@ -210,3 +327,45 @@ class ExperimentSpec:
 
     def __len__(self) -> int:
         return len(self.points())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form; :meth:`from_dict` round-trips exactly."""
+        return {
+            "workloads": list(self.workloads),
+            "designs": list(self.designs),
+            "capacities_mb": list(self.capacities_mb),
+            "seeds": list(self.seeds),
+            "page_sizes": list(self.page_sizes),
+            "cache_variants": [dict(v) for v in self.cache_variants],
+            "system_variants": [dict(v) for v in self.system_variants],
+            "timing_variants": [dict(v) for v in self.timing_variants],
+            "scale": self.scale,
+            "num_requests": self.num_requests,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a spec file)."""
+        payload = dict(data)
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec field(s) {sorted(unknown)}; "
+                f"one of {tuple(cls.__dataclass_fields__)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """This spec as JSON text (the ``--spec`` file format)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"spec is not valid JSON: {error}") from None
+        if not isinstance(data, Mapping):
+            raise ValueError("spec JSON must be an object of axis values")
+        return cls.from_dict(data)

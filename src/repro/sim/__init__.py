@@ -1,6 +1,12 @@
 """System configuration, construction, and the trace-driven simulator."""
 
-from repro.sim.config import CacheConfig, SimulationConfig, SystemConfig
+from repro.sim.config import (
+    CacheConfig,
+    SimulationConfig,
+    SystemConfig,
+    TimingConfig,
+    make_system_config,
+)
 from repro.sim.sampling import SamplingResult, SmartsSampler
 from repro.sim.simulator import SimulationResult, Simulator, quick_run
 from repro.sim.system import System, build_system
@@ -9,6 +15,8 @@ __all__ = [
     "CacheConfig",
     "SimulationConfig",
     "SystemConfig",
+    "TimingConfig",
+    "make_system_config",
     "SamplingResult",
     "SmartsSampler",
     "SimulationResult",

@@ -71,7 +71,9 @@ class SmartsSampler:
         """Alternate warming and measurement windows; aggregate IPC samples."""
         system = build_system(self.config)
         simulator = Simulator(self.config, system=system)
-        cache = system.cache
+        # Enter at the frontend (the extra-L2 slice when configured), as
+        # Simulator.run does — same config, same observed behaviour.
+        cache = system.frontend
         perf = simulator.perf
         samples: List[float] = []
 

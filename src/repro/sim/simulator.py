@@ -124,7 +124,10 @@ class Simulator:
         many requests are consumed and the warm-up split applies the same
         way.
         """
-        cache = self.system.cache
+        # Requests enter at the system's frontend: the DRAM cache itself,
+        # or the extra-L2 slice in front of it (Section 6.3).  Statistics
+        # are summarised at the DRAM cache level either way.
+        cache = self.system.frontend
         perf = self.perf
         warmup = self.config.warmup_requests
         processed = 0

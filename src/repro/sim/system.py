@@ -1,51 +1,59 @@
 """System construction: wire controllers, cache design, and workload.
 
 Row-buffer management policies and address mappings are chosen per design,
-as the paper does (Section 5.2):
+as the paper does (Section 5.2), but the per-design knowledge lives in the
+design registry (:mod:`repro.caches.registry`) rather than here:
 
 * page-organised designs (page, footprint, subblock, chop) use open-page
   policies and page-granular interleaving — a page occupies one DRAM row;
 * the block-based design and the baseline use close-/open-page with 64B
   interleaving to maximise DRAM-level parallelism for scattered accesses.
+
+``build_system`` consumes a :class:`~repro.sim.config.SimulationConfig`
+and *only* that: DRAM device variants, pod overrides and the design all
+come from the config, so two systems built from equal configs are
+identical and the experiment engine can hash a config as the full
+identity of a run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
-from repro.caches.base import BaselineMemory, DramCache
-from repro.caches.block_cache import BlockBasedCache
-from repro.caches.chop_cache import ChopCache
-from repro.caches.ideal_cache import IdealCache
-from repro.caches.missmap import MissMap
-from repro.caches.page_cache import PageBasedCache
-from repro.caches.subblock_cache import SubBlockedCache
-from repro.core.footprint_cache import FootprintCache
-from repro.core.footprint_predictor import FootprintHistoryTable
-from repro.core.overheads import missmap_entries_for
-from repro.core.singleton_table import SingletonTable
+from repro.caches.base import DramCache
+from repro.caches.registry import DesignSpec, get_design
 from repro.dram.address_mapping import AddressMapping
-from repro.dram.bank import RowBufferPolicy
 from repro.dram.controller import MemoryController
 from repro.dram.energy import DramEnergyModel
-from repro.dram.timing import DramTiming, OFF_CHIP_DDR3_1600, STACKED_DDR3_3200
+from repro.dram.timing import DramTiming
+from repro.mem.hierarchy import L2Cache
 from repro.sim.config import CacheConfig, SimulationConfig, SystemConfig
 from repro.workloads.cloudsuite import make_workload
 from repro.workloads.synthetic import SyntheticWorkload
 
-_PAGE_ORGANISED = ("page", "footprint", "subblock", "chop")
-
 
 @dataclass
 class System:
-    """A constructed pod: cache design + both DRAM instances + workload."""
+    """A constructed pod: cache design + both DRAM instances + workload.
+
+    ``frontend`` is the access point the simulator drives: the DRAM cache
+    itself, or an extra on-chip L2 slice in front of it when
+    ``SystemConfig.extra_l2_bytes`` is set (the Section 6.3 enhanced
+    baseline).  ``cache`` always names the DRAM cache level, where miss
+    ratios and traffic are accounted.
+    """
 
     config: SimulationConfig
     cache: DramCache
     stacked: Optional[MemoryController]
     offchip: MemoryController
     workload: SyntheticWorkload
+    frontend: Union[DramCache, L2Cache, None] = None
+
+    def __post_init__(self) -> None:
+        if self.frontend is None:
+            self.frontend = self.cache
 
     def reset_stats(self) -> None:
         """End-of-warm-up reset across all components."""
@@ -53,71 +61,56 @@ class System:
         self.offchip.reset_stats()
         if self.stacked is not None:
             self.stacked.reset_stats()
+        if self.frontend is not self.cache:
+            self.frontend.reset_stats()
 
 
 def _offchip_controller(
-    system: SystemConfig, cache: CacheConfig, timing: DramTiming = OFF_CHIP_DDR3_1600
+    system: SystemConfig, cache: CacheConfig, spec: DesignSpec, timing: DramTiming
 ) -> MemoryController:
-    if cache.design in _PAGE_ORGANISED:
+    if spec.page_organised:
         mapping = AddressMapping(
             channels=system.offchip_channels,
             banks_per_channel=system.offchip_banks_per_channel,
             row_bytes=system.dram_row_bytes,
             interleave_bytes=min(cache.page_size, system.dram_row_bytes),
         )
-        policy = RowBufferPolicy.OPEN_PAGE
     else:
         mapping = AddressMapping.block_interleaved(
             channels=system.offchip_channels,
             banks_per_channel=system.offchip_banks_per_channel,
             row_bytes=system.dram_row_bytes,
         )
-        policy = (
-            RowBufferPolicy.CLOSE_PAGE
-            if cache.design == "block"
-            else RowBufferPolicy.OPEN_PAGE
-        )
     return MemoryController(
         timing=timing,
         mapping=mapping,
-        policy=policy,
+        policy=spec.offchip_policy,
         energy_model=DramEnergyModel.off_chip(),
         cpu_mhz=system.cpu_mhz,
     )
 
 
 def _stacked_controller(
-    system: SystemConfig, cache: CacheConfig, timing: DramTiming = STACKED_DDR3_3200
+    system: SystemConfig, cache: CacheConfig, spec: DesignSpec, timing: DramTiming
 ) -> MemoryController:
-    if cache.design in _PAGE_ORGANISED:
-        mapping = AddressMapping(
-            channels=system.stacked_channels,
-            banks_per_channel=system.stacked_banks_per_channel,
-            row_bytes=system.dram_row_bytes,
-            interleave_bytes=min(cache.page_size, system.dram_row_bytes),
-        )
-        policy = RowBufferPolicy.OPEN_PAGE
-    elif cache.design == "block":
+    if spec.stacked_interleaving == "page":
+        interleave = min(cache.page_size, system.dram_row_bytes)
+    elif spec.stacked_interleaving == "row":
         # One DRAM row holds one cache set (tags + data); row-granular
         # interleaving keeps each compound access within one bank.
-        mapping = AddressMapping(
-            channels=system.stacked_channels,
-            banks_per_channel=system.stacked_banks_per_channel,
-            row_bytes=system.dram_row_bytes,
-            interleave_bytes=system.dram_row_bytes,
-        )
-        policy = RowBufferPolicy.CLOSE_PAGE
-    else:  # ideal: die-stacked main memory, scattered accesses
-        mapping = AddressMapping.block_interleaved(
-            channels=system.stacked_channels,
-            banks_per_channel=system.stacked_banks_per_channel,
-            row_bytes=system.dram_row_bytes,
-        )
-        policy = RowBufferPolicy.OPEN_PAGE
+        interleave = system.dram_row_bytes
+    else:  # "block": scattered accesses, maximise bank-level parallelism
+        interleave = 64
+    mapping = AddressMapping(
+        channels=system.stacked_channels,
+        banks_per_channel=system.stacked_banks_per_channel,
+        row_bytes=system.dram_row_bytes,
+        interleave_bytes=interleave,
+    )
     return MemoryController(
         timing=timing,
         mapping=mapping,
-        policy=policy,
+        policy=spec.stacked_policy,
         energy_model=DramEnergyModel.stacked(),
         cpu_mhz=system.cpu_mhz,
     )
@@ -129,106 +122,44 @@ def build_cache(
     offchip: MemoryController,
 ) -> DramCache:
     """Instantiate the configured design over the two DRAM instances."""
-    design = cache_config.design
-    latency = cache_config.resolved_tag_latency()
-    if design == "baseline":
-        return BaselineMemory(stacked, offchip)
-    if stacked is None:
-        raise ValueError(f"design {design!r} needs a stacked controller")
-    if design == "ideal":
-        return IdealCache(stacked, offchip)
-    if design == "block":
-        entries = cache_config.missmap_entries or missmap_entries_for(
-            cache_config.capacity_bytes
-        )
-        associativity = cache_config.missmap_associativity
-        entries = max(associativity, entries // associativity * associativity)
-        missmap = MissMap(
-            num_entries=entries,
-            associativity=associativity,
-            latency_cycles=latency,
-        )
-        return BlockBasedCache(
-            stacked,
-            offchip,
-            capacity_bytes=cache_config.capacity_bytes,
-            missmap=missmap,
-            data_blocks_per_row=cache_config.block_data_blocks_per_row,
-        )
-    if design == "page":
-        return PageBasedCache(
-            stacked,
-            offchip,
-            capacity_bytes=cache_config.capacity_bytes,
-            page_size=cache_config.page_size,
-            associativity=cache_config.associativity,
-            tag_latency=latency,
-        )
-    if design == "subblock":
-        return SubBlockedCache(
-            stacked,
-            offchip,
-            capacity_bytes=cache_config.capacity_bytes,
-            page_size=cache_config.page_size,
-            associativity=cache_config.associativity,
-            tag_latency=latency,
-        )
-    if design == "chop":
-        return ChopCache(
-            stacked,
-            offchip,
-            capacity_bytes=cache_config.capacity_bytes,
-            page_size=cache_config.page_size,
-            associativity=cache_config.associativity,
-            tag_latency=latency,
-            hot_threshold=cache_config.chop_hot_threshold,
-            filter_entries=cache_config.chop_filter_entries,
-        )
-    if design == "footprint":
-        blocks_per_page = cache_config.page_size // 64
-        fht = FootprintHistoryTable(
-            num_entries=cache_config.fht_entries,
-            associativity=cache_config.fht_associativity,
-            blocks_per_page=blocks_per_page,
-            index_mode=cache_config.fht_index_mode,
-        )
-        singleton = (
-            SingletonTable(num_entries=cache_config.singleton_entries)
-            if cache_config.singleton_optimization
-            else None
-        )
-        return FootprintCache(
-            stacked,
-            offchip,
-            capacity_bytes=cache_config.capacity_bytes,
-            page_size=cache_config.page_size,
-            associativity=cache_config.associativity,
-            tag_latency=latency,
-            fht=fht,
-            singleton_table=singleton,
-            singleton_optimization=cache_config.singleton_optimization,
-        )
-    raise ValueError(f"unknown design {design!r}")
+    spec = get_design(cache_config.design)
+    if spec.needs_stacked and stacked is None:
+        raise ValueError(f"design {spec.name!r} needs a stacked controller")
+    return spec.builder(cache_config, stacked, offchip)
 
 
-def build_system(
-    config: SimulationConfig,
-    stacked_timing: DramTiming = STACKED_DDR3_3200,
-    offchip_timing: DramTiming = OFF_CHIP_DDR3_1600,
-    profile=None,
-) -> System:
+def build_system(config: SimulationConfig, profile=None) -> System:
     """Build a complete simulated pod from a :class:`SimulationConfig`.
 
-    ``profile`` overrides the registered workload profile — the hook for
-    user-defined workloads (see ``examples/custom_workload.py``).
+    The config is the whole experiment: design, capacities, pod
+    architecture and DRAM device variants all come from it.  ``profile``
+    overrides the registered workload profile — the hook for user-defined
+    workloads (see ``examples/custom_workload.py``).
     """
-    offchip = _offchip_controller(config.system, config.cache, offchip_timing)
+    spec = get_design(config.cache.design)
+    offchip = _offchip_controller(
+        config.system, config.cache, spec, config.offchip_timing.resolve("offchip")
+    )
     stacked = (
-        None
-        if config.cache.design == "baseline"
-        else _stacked_controller(config.system, config.cache, stacked_timing)
+        _stacked_controller(
+            config.system, config.cache, spec, config.stacked_timing.resolve("stacked")
+        )
+        if spec.needs_stacked
+        else None
     )
     cache = build_cache(config.cache, stacked, offchip)
+    frontend: Union[DramCache, L2Cache] = cache
+    if config.system.extra_l2_bytes:
+        # Section 6.3: grow the existing L2 instead of spending SRAM on
+        # cache tags.  Write-no-allocate and zero added hit latency model
+        # the pure capacity effect of growing an array that is already
+        # on the access path.
+        frontend = L2Cache(
+            cache,
+            capacity_bytes=config.system.extra_l2_bytes,
+            hit_latency=config.system.extra_l2_hit_latency,
+            write_allocate=False,
+        )
     workload = make_workload(
         config.workload,
         seed=config.seed,
@@ -242,4 +173,5 @@ def build_system(
         stacked=stacked,
         offchip=offchip,
         workload=workload,
+        frontend=frontend,
     )

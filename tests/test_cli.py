@@ -37,12 +37,30 @@ class TestSweepParser:
         assert args.no_cache
 
     def test_sweep_defaults(self):
+        # Axis flags default to None sentinels (so --spec conflicts are
+        # detectable); the effective defaults live in _sweep_spec.
         args = build_parser().parse_args(["sweep"])
-        assert args.workloads == ("web_search",)
-        assert args.designs == ("footprint",)
+        assert args.workloads is None
+        assert args.designs is None
+        assert args.spec is None
         assert args.jobs == 1
         assert not args.no_cache
         assert args.store is None
+
+    def test_sweep_effective_defaults(self):
+        from repro.__main__ import _sweep_spec
+
+        spec = _sweep_spec(build_parser().parse_args(["sweep"]))
+        assert spec.workloads == ("web_search",)
+        assert spec.designs == ("footprint",)
+        assert spec.capacities_mb == (256,)
+        assert spec.scale == 256
+
+    def test_explicitly_empty_axis_rejected(self, capsys):
+        # An empty flag value (e.g. an unset shell variable) must error,
+        # not silently fall back to the default axis.
+        assert main(["sweep", "--workloads", ""]) == 2
+        assert "must not be empty" in capsys.readouterr().err
 
     def test_single_run_has_no_command(self):
         assert build_parser().parse_args([]).command is None
@@ -85,6 +103,49 @@ class TestSweepMain:
         assert main(argv + ["--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "1 simulated" in out
+
+
+class TestSpecFile:
+    def _write_spec(self, tmp_path, **axes):
+        from repro.exp import ExperimentSpec
+
+        path = tmp_path / "spec.json"
+        path.write_text(ExperimentSpec(**axes).to_json())
+        return str(path)
+
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        path = self._write_spec(
+            tmp_path, workloads="web_search", designs=("page",),
+            capacities_mb=64, num_requests=3000,
+            timing_variants=({}, {"stacked_latency_scale": 0.5}),
+        )
+        assert main(["sweep", "--spec", path, "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+        assert "stacked_latency_scale=0.5" in out
+
+    def test_spec_conflicts_with_grid_flags(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, workloads="web_search", num_requests=3000)
+        assert main(["sweep", "--spec", path, "--designs", "page"]) == 2
+        err = capsys.readouterr().err
+        assert "--spec cannot be combined" in err
+        assert "--designs" in err
+
+    def test_missing_spec_file_reported(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_malformed_spec_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_spec_field_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"designz": ["page"]}')
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "designz" in capsys.readouterr().err
 
 
 class TestMain:

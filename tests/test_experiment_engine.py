@@ -5,15 +5,19 @@ import json
 import pytest
 
 import repro.exp.runner as runner_module
+import repro.exp.spec as spec_module
 from repro.exp import (
+    ENGINE_VERSION,
     ExperimentPoint,
     ExperimentSpec,
     ResultStore,
     SweepRunner,
     default_requests,
     freeze_kwargs,
+    split_timing_kwargs,
     run_point,
 )
+from repro.sim.config import TimingConfig
 from repro.sim.simulator import SimulationResult, quick_run
 
 N = 3_000  # tiny traces: these tests exercise plumbing, not the paper
@@ -75,6 +79,179 @@ class TestExperimentPoint:
         assert a == b
         assert freeze_kwargs({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
 
+    def test_unknown_system_override_rejected(self):
+        with pytest.raises(ValueError, match="SystemConfig"):
+            ExperimentPoint(workload="web_search",
+                            system_kwargs={"warp_drive": True})
+
+    def test_unknown_timing_override_rejected(self):
+        with pytest.raises(ValueError, match="timing override"):
+            ExperimentPoint(workload="web_search",
+                            timing_kwargs={"latency_scale": 0.5})  # missing role
+
+    def test_timing_kwargs_reach_the_config(self):
+        point = ExperimentPoint(
+            workload="web_search", design="ideal",
+            timing_kwargs={"stacked_latency_scale": 0.5,
+                           "offchip_preset": "ddr3_3200"},
+        )
+        config = point.config()
+        assert config.stacked_timing == TimingConfig(latency_scale=0.5)
+        assert config.offchip_timing == TimingConfig(preset="ddr3_3200")
+
+    def test_system_kwargs_reach_the_config(self):
+        point = ExperimentPoint(workload="web_search", design="baseline",
+                                system_kwargs={"extra_l2_bytes": 16384})
+        assert point.config().system.extra_l2_bytes == 16384
+
+    def test_split_timing_kwargs(self):
+        stacked, offchip = split_timing_kwargs({"stacked_latency_scale": 0.5})
+        assert stacked == TimingConfig(latency_scale=0.5)
+        assert offchip == TimingConfig()
+
+
+class TestStoreKeyCoversEveryAxis:
+    """Regression for the pre-redesign blind spot: timing and system
+    variants used to be passed out-of-band to ``build_system`` and were
+    invisible to the store hash — a Fig. 1 half-latency run and a normal
+    run collided under one key."""
+
+    def test_stacked_timing_changes_the_key(self):
+        normal = ExperimentPoint(workload="web_search", design="ideal")
+        halved = ExperimentPoint(workload="web_search", design="ideal",
+                                 timing_kwargs={"stacked_latency_scale": 0.5})
+        assert normal.key() != halved.key()
+
+    def test_offchip_timing_changes_the_key(self):
+        normal = ExperimentPoint(workload="web_search")
+        reclocked = ExperimentPoint(workload="web_search",
+                                    timing_kwargs={"offchip_bus_mhz": 1600})
+        assert normal.key() != reclocked.key()
+
+    def test_system_override_changes_the_key(self):
+        plain = ExperimentPoint(workload="web_search", design="baseline")
+        enhanced = ExperimentPoint(workload="web_search", design="baseline",
+                                   system_kwargs={"extra_l2_bytes": 16384})
+        assert plain.key() != enhanced.key()
+
+    def test_default_variant_spelled_out_shares_key(self):
+        plain = ExperimentPoint(workload="web_search")
+        explicit = ExperimentPoint(
+            workload="web_search",
+            timing_kwargs={"stacked_latency_scale": 1.0},
+            system_kwargs={"num_cores": 16},
+        )
+        assert plain != explicit
+        assert plain.key() == explicit.key()
+
+    def test_preset_spelling_of_default_device_shares_key(self):
+        # The stacked role's default device *is* ddr3_3200: naming it
+        # explicitly must not fork the store entry.
+        plain = ExperimentPoint(workload="web_search")
+        named = ExperimentPoint(workload="web_search",
+                                timing_kwargs={"stacked_preset": "ddr3_3200"})
+        assert plain.key() == named.key()
+
+    def test_redefined_preset_changes_the_key(self):
+        # Keys hash the *resolved* device parameters, so a preset whose
+        # definition changed between runs cannot serve stale results.
+        import dataclasses
+
+        from repro.dram.timing import OFF_CHIP_DDR3_1600, TIMING_PRESETS
+
+        try:
+            TIMING_PRESETS["test_hbm"] = OFF_CHIP_DDR3_1600
+            before = ExperimentPoint(workload="web_search",
+                                     timing_kwargs={"stacked_preset": "test_hbm"}).key()
+            TIMING_PRESETS["test_hbm"] = dataclasses.replace(
+                OFF_CHIP_DDR3_1600, t_cas=4
+            )
+            after = ExperimentPoint(workload="web_search",
+                                    timing_kwargs={"stacked_preset": "test_hbm"}).key()
+        finally:
+            TIMING_PRESETS.pop("test_hbm", None)
+        assert before != after
+
+    def test_stacked_timing_degenerate_for_stackless_designs(self):
+        # The baseline never builds a stacked controller, so a Fig. 1
+        # grid with a baseline bar must not fork it per stacked variant.
+        plain = ExperimentPoint(workload="web_search", design="baseline")
+        varied = ExperimentPoint(workload="web_search", design="baseline",
+                                 timing_kwargs={"stacked_latency_scale": 0.5})
+        assert plain.key() == varied.key()
+        # ... while off-chip timing (which the baseline does use) forks.
+        offchip = ExperimentPoint(workload="web_search", design="baseline",
+                                  timing_kwargs={"offchip_latency_scale": 0.5})
+        assert plain.key() != offchip.key()
+
+    def test_unknown_preset_fails_at_point_construction(self):
+        with pytest.raises(ValueError, match="unknown timing preset"):
+            ExperimentPoint(workload="web_search",
+                            timing_kwargs={"stacked_preset": "ddr9_9999"})
+
+    def test_reregistered_design_traits_change_the_key(self):
+        # A custom design re-registered with different construction
+        # traits (e.g. its interleaving) must not alias the old results.
+        from repro.caches.registry import register_design, unregister_design
+
+        def build(config, stacked, offchip):  # pragma: no cover
+            raise AssertionError("never built: keys only")
+
+        keys = []
+        for interleaving in ("page", "block"):
+            register_design("test_keyed", page_organised=True,
+                            stacked_interleaving=interleaving)(build)
+            try:
+                keys.append(ExperimentPoint(workload="web_search",
+                                            design="test_keyed").key())
+            finally:
+                unregister_design("test_keyed")
+        assert keys[0] != keys[1]
+
+    def test_device_name_is_cosmetic_in_the_key(self):
+        import dataclasses
+
+        from repro.dram.timing import STACKED_DDR3_3200, TIMING_PRESETS
+
+        try:
+            # Same numbers as the stacked default, different display name.
+            TIMING_PRESETS["test_alias"] = dataclasses.replace(
+                STACKED_DDR3_3200, name="alias"
+            )
+            aliased = ExperimentPoint(workload="web_search",
+                                      timing_kwargs={"stacked_preset": "test_alias"}).key()
+        finally:
+            TIMING_PRESETS.pop("test_alias", None)
+        assert aliased == ExperimentPoint(workload="web_search").key()
+
+    def test_engine_version_bump_invalidates(self, monkeypatch):
+        point = ExperimentPoint(workload="web_search")
+        new_key = point.key()
+        monkeypatch.setattr(spec_module, "ENGINE_VERSION", "1")
+        old_key = ExperimentPoint(workload="web_search").key()
+        assert new_key != old_key
+
+    def test_redesign_bumped_engine_version(self):
+        # The redesign changed what the resolved config contains, so the
+        # pre-redesign store ("1") must be invalid wholesale.
+        assert ENGINE_VERSION == "2"
+
+    def test_variant_points_store_distinctly(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        runner = SweepRunner(store=store)
+        normal = ExperimentPoint(workload="web_search", design="ideal",
+                                 capacity_mb=64, num_requests=N)
+        halved = ExperimentPoint(workload="web_search", design="ideal",
+                                 capacity_mb=64, num_requests=N,
+                                 timing_kwargs={"stacked_latency_scale": 0.5})
+        fast = runner.run_one(halved)
+        slow = runner.run_one(normal)
+        assert len(store) == 2
+        reloaded = ResultStore(str(tmp_path))
+        assert reloaded.get(normal) == slow
+        assert reloaded.get(halved) == fast
+        assert fast.aggregate_ipc > slow.aggregate_ipc
+
 
 class TestExperimentSpec:
     def test_grid_size_and_dedup(self):
@@ -95,6 +272,46 @@ class TestExperimentSpec:
     def test_empty_axis_rejected(self):
         with pytest.raises(ValueError):
             ExperimentSpec(workloads=(), designs=("page",))
+
+    def test_variant_axes_cross_product(self):
+        spec = ExperimentSpec(
+            workloads="web_search", designs="ideal", capacities_mb=64,
+            timing_variants=({}, {"stacked_latency_scale": 0.5}),
+            system_variants=({}, {"stacked_channels": 8}),
+        )
+        assert len(spec) == 4
+        labels = {point.label() for point in spec}
+        assert "web_search/ideal/64MB stacked_channels=8 stacked_latency_scale=0.5" in labels
+
+    def test_single_variant_dict_accepted(self):
+        spec = ExperimentSpec(workloads="web_search", designs="baseline",
+                              system_variants={"extra_l2_bytes": 16384})
+        (point,) = spec.points()
+        assert point.system_kwargs == (("extra_l2_bytes", 16384),)
+
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(
+            workloads=("web_search", "mapreduce"),
+            designs=("page", "footprint"),
+            capacities_mb=(64, 256),
+            num_requests=N,
+            cache_variants=({}, {"fht_entries": 1024}),
+            timing_variants=({}, {"stacked_latency_scale": 0.5}),
+            system_variants=({}, {"extra_l2_bytes": 16384}),
+        )
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.points() == spec.points()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="designz"):
+            ExperimentSpec.from_dict({"designz": ["page"]})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            ExperimentSpec.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="JSON"):
+            ExperimentSpec.from_json("{nope")
 
 
 class TestResultSerialization:
@@ -203,6 +420,16 @@ class TestSweepRunner:
             sweep.get(design="page")  # ambiguous: two capacities
         with pytest.raises(KeyError):
             sweep.get(design="page", capacity_mb=999)  # no match
+
+    def test_sweep_result_get_by_variant(self):
+        spec = ExperimentSpec(
+            workloads="web_search", designs="ideal", capacities_mb=64,
+            num_requests=N, timing_variants=({}, {"stacked_latency_scale": 0.5}),
+        )
+        sweep = SweepRunner(store=None).run(spec)
+        fast = sweep.get(stacked_latency_scale=0.5)
+        slow = sweep.get(timing_kwargs=())
+        assert fast.aggregate_ipc > slow.aggregate_ipc
 
 
 class TestResultStore:

@@ -44,3 +44,22 @@ class TestSampler:
             SmartsSampler(config(), num_samples=1)
         with pytest.raises(ValueError):
             SmartsSampler(config(), window_requests=0)
+
+
+class TestSamplerEntersAtFrontend:
+    def test_extra_l2_variant_affects_sampled_ipc(self):
+        # The sampler must drive System.frontend (the Section 6.3 extra-L2
+        # slice when configured), like Simulator.run: the same config must
+        # mean the same behaviour at every entry point.
+        def sample(**system_overrides):
+            cfg = SimulationConfig.scaled(
+                "web_search", "baseline", 64, scale=256, num_requests=30_000,
+                system_overrides=system_overrides,
+            )
+            return SmartsSampler(
+                cfg, num_samples=4, window_requests=1000, warming_requests=2000
+            ).run()
+
+        plain = sample()
+        enhanced = sample(extra_l2_bytes=256 * 1024)
+        assert enhanced.mean_ipc > plain.mean_ipc
