@@ -6,91 +6,25 @@
   PC & offset tolerates data-structure alignment variation).
 """
 
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, bench_spec, emit, sweep
-
-INDEX_MODES = ("pc_offset", "pc", "offset")
-
-PREDICTOR_SPEC = bench_spec(
-    workloads=("web_search", "data_serving", "mapreduce"),
-    designs=("subblock", "footprint"),
-    capacities_mb=(256,),
-)
-
-INDEXING_SPEC = bench_spec(
-    workloads=("web_search", "sat_solver"),
-    designs=("footprint",),
-    capacities_mb=(256,),
-    cache_variants=tuple({"fht_index_mode": mode} for mode in INDEX_MODES),
-)
+from common import run_figure_bench
+from repro.reporting.figures import INDEXING_WORKLOADS, PREDICTOR_WORKLOADS
 
 
 def test_ablation_predictor_value(benchmark):
-    def compute():
-        results = sweep(PREDICTOR_SPEC)
-        return {
-            (workload, design): results.get(workload=workload, design=design)
-            for workload in ("web_search", "data_serving", "mapreduce")
-            for design in ("subblock", "footprint")
-        }
+    results = run_figure_bench(benchmark, "ablation_predictor").data
 
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = []
-    for workload in ("web_search", "data_serving", "mapreduce"):
+    for workload in PREDICTOR_WORKLOADS:
         sub = results[(workload, "subblock")]
         fp = results[(workload, "footprint")]
-        rows.append(
-            (
-                PRETTY[workload],
-                percent(sub.miss_ratio),
-                percent(fp.miss_ratio),
-                f"{sub.offchip_traffic_normalized:.2f}",
-                f"{fp.offchip_traffic_normalized:.2f}",
-            )
-        )
         # Prediction must slash the miss ratio at similar traffic.
         assert fp.miss_ratio < sub.miss_ratio
         assert fp.offchip_traffic_normalized < sub.offchip_traffic_normalized * 1.6
-    emit(
-        "ablation_predictor_value",
-        format_table(
-            ("Workload", "MR subblock", "MR footprint", "Traffic subblock", "Traffic footprint"),
-            rows,
-            title="Ablation - footprint prediction vs demand-fetch sub-blocking (256MB)",
-        ),
-    )
 
 
 def test_ablation_fht_indexing(benchmark):
-    def compute():
-        results = sweep(INDEXING_SPEC)
-        return {
-            (workload, mode): results.get(workload=workload, fht_index_mode=mode)
-            for workload in ("web_search", "sat_solver")
-            for mode in INDEX_MODES
-        }
+    results = run_figure_bench(benchmark, "ablation_indexing").data
 
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = []
-    for workload in ("web_search", "sat_solver"):
-        row = [PRETTY[workload]]
-        for mode in INDEX_MODES:
-            r = results[(workload, mode)]
-            row.append(
-                f"hit {percent(r.hit_ratio)} / over {percent(r.predictor_overprediction)}"
-            )
-        rows.append(tuple(row))
-    emit(
-        "ablation_fht_indexing",
-        format_table(
-            ("Workload", "PC & offset", "PC only", "offset only"),
-            rows,
-            title="Ablation - FHT index mode (256MB, 16K entries)",
-        ),
-    )
-    for workload in ("web_search", "sat_solver"):
+    for workload in INDEXING_WORKLOADS:
         full = results[(workload, "pc_offset")]
         for mode in ("pc", "offset"):
             degraded = results[(workload, mode)]

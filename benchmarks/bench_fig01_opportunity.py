@@ -3,72 +3,18 @@
 The paper's first figure motivates everything else: a system whose main
 memory is fully die-stacked ("High-BW") gains substantially over the 2D
 baseline, and halving the stacked DRAM latency on top ("High-BW &
-Low-Latency") gains more.  We reproduce both bars per workload with the
-Ideal design over normal and half-latency stacked timing — one declarative
-grid, with the half-latency device expressed as a timing variant
-(``stacked_latency_scale=0.5``) so both bars flow through the experiment
-engine and cache in the result store under distinct keys.
+Low-Latency") gains more.  The grid and renderer live in the figure
+registry (``repro.reporting.figures``): both bars per workload flow
+through the experiment engine, with the half-latency device expressed as
+a timing variant (``stacked_latency_scale=0.5``) caching under a
+distinct store key.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import (
-    PRETTY,
-    SEED,
-    baseline_for,
-    bench_spec,
-    emit,
-    geomean_improvement,
-    sweep,
-)
-
-N = 120_000
-
-HALF_LATENCY = {"stacked_latency_scale": 0.5}
-
-# Both bars at every workload: the High-BW system (ideal die-stacked main
-# memory) and the High-BW & Low-Latency system (same, at half latency).
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES,
-    designs=("ideal",),
-    capacities_mb=(256,),
-    num_requests=N,
-    seeds=(SEED,),
-    timing_variants=({}, HALF_LATENCY),
-)
+from common import run_figure_bench
 
 
 def test_fig01_opportunity(benchmark):
-    def compute():
-        ideal = sweep(SPEC)
-        rows = []
-        high_bw_all, low_lat_all = [], []
-        for workload in WORKLOAD_NAMES:
-            baseline = baseline_for(workload, num_requests=N)
-            high_bw = ideal.get(workload=workload, timing_kwargs=())
-            low_latency = ideal.get(workload=workload, stacked_latency_scale=0.5)
-            bw_gain = high_bw.improvement_over(baseline)
-            lat_gain = low_latency.improvement_over(baseline)
-            high_bw_all.append(bw_gain)
-            low_lat_all.append(lat_gain)
-            rows.append((PRETTY[workload], percent(bw_gain), percent(lat_gain)))
-        rows.append(
-            (
-                "Geomean",
-                percent(geomean_improvement(high_bw_all)),
-                percent(geomean_improvement(low_lat_all)),
-            )
-        )
-        return rows
-
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    table = format_table(
-        ("Workload", "High-BW", "High-BW & Low-Latency"),
-        rows,
-        title="Fig. 1 - Performance improvement with die-stacked main memory",
-    )
-    emit("fig01_opportunity", table)
+    rows = run_figure_bench(benchmark, "fig01").data
 
     # The Low-Latency system must dominate the High-BW-only system.
     for _, bw, lat in rows:

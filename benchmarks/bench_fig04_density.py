@@ -1,60 +1,18 @@
 """Fig. 4 — page access density as a function of cache capacity.
 
-For each workload and capacity we histogram the number of demanded 64B
-blocks per 2KB page residency.  The paper's two observations must hold:
-wide variation across workloads, and density *increasing* with capacity
+For each workload and capacity the registered figure histograms the
+number of demanded 64B blocks per 2KB page residency (a pure trace
+analysis — no simulation).  The paper's two observations must hold: wide
+variation across workloads, and density *increasing* with capacity
 (longer residency leaves more time for blocks to be touched).
 """
 
-from repro.analysis.page_density import DENSITY_BUCKETS, PageDensityTracker
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES, make_workload
-
-from common import CAPACITIES_MB, MB, PRETTY, SCALE, SEED, emit
-
-N = 160_000
-
-
-def density_profiles(workload: str):
-    """One trace pass feeding four capacity-specific trackers."""
-    trackers = {
-        capacity: PageDensityTracker(capacity * MB // SCALE)
-        for capacity in CAPACITIES_MB
-    }
-    for request in make_workload(workload, seed=SEED, dataset_scale=64 / SCALE).requests(N):
-        for tracker in trackers.values():
-            tracker.observe(request)
-    profiles = {}
-    for capacity, tracker in trackers.items():
-        tracker.finish()
-        profiles[capacity] = (tracker.bucket_fractions(), tracker.histogram.mean())
-    return profiles
+from common import run_figure_bench
+from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
 
 def test_fig04_page_density(benchmark):
-    def compute():
-        return {workload: density_profiles(workload) for workload in WORKLOAD_NAMES}
-
-    all_profiles = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    labels = [label for _, _, label in DENSITY_BUCKETS]
-    rows = []
-    for workload in WORKLOAD_NAMES:
-        for capacity in CAPACITIES_MB:
-            fractions, mean_density = all_profiles[workload][capacity]
-            rows.append(
-                (PRETTY[workload], f"{capacity}MB")
-                + tuple(percent(fractions[label]) for label in labels)
-                + (f"{mean_density:.1f}",)
-            )
-    emit(
-        "fig04_density",
-        format_table(
-            ("Workload", "Capacity") + tuple(labels) + ("Mean",),
-            rows,
-            title="Fig. 4 - Page access density vs cache capacity (2KB pages)",
-        ),
-    )
+    all_profiles = run_figure_bench(benchmark, "fig04").data
 
     for workload in WORKLOAD_NAMES:
         small = all_profiles[workload][64][1]

@@ -1,89 +1,20 @@
 """Fig. 5 — miss ratio (a) and off-chip bandwidth (b) of the three designs.
 
-Reproduces both panels for all six workloads and all four capacities, in
-the paper's stacked-bar ordering (page ⊂ footprint ⊂ block for misses,
-block ⊂ footprint ⊂ page for traffic), and reports the Section 6.2
-headline ratios: ~2.6x lower off-chip traffic than page-based and ~4.7x
-higher hit ratio than block-based.
+The registered figure reproduces both panels for all six workloads and
+all four capacities, in the paper's stacked-bar ordering (page ⊂
+footprint ⊂ block for misses, block ⊂ footprint ⊂ page for traffic), and
+reports the Section 6.2 headline ratios: ~2.6x lower off-chip traffic
+than page-based and ~4.7x higher hit ratio than block-based.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.perf.stats import geometric_mean
+from common import CAPACITIES_MB, run_figure_bench
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import CAPACITIES_MB, PRETTY, bench_spec, emit, sweep
 
 DESIGNS = ("page", "footprint", "block")
 
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=CAPACITIES_MB
-)
-
 
 def test_fig05_miss_ratio_and_bandwidth(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        return {
-            (workload, capacity, design): results.get(
-                workload=workload, design=design, capacity_mb=capacity
-            )
-            for workload in WORKLOAD_NAMES
-            for capacity in CAPACITIES_MB
-            for design in DESIGNS
-        }
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    miss_rows, bw_rows = [], []
-    for workload in WORKLOAD_NAMES:
-        for capacity in CAPACITIES_MB:
-            point = {d: results[(workload, capacity, d)] for d in DESIGNS}
-            miss_rows.append(
-                (PRETTY[workload], f"{capacity}MB")
-                + tuple(percent(point[d].miss_ratio) for d in DESIGNS)
-            )
-            bw_rows.append(
-                (PRETTY[workload], f"{capacity}MB")
-                + tuple(f"{point[d].offchip_traffic_normalized:.2f}" for d in DESIGNS)
-            )
-
-    emit(
-        "fig05a_miss_ratio",
-        format_table(
-            ("Workload", "Capacity", "Page", "Footprint", "Block"),
-            miss_rows,
-            title="Fig. 5a - DRAM cache miss ratio",
-        ),
-    )
-    emit(
-        "fig05b_offchip_bw",
-        format_table(
-            ("Workload", "Capacity", "Page", "Footprint", "Block"),
-            bw_rows,
-            title="Fig. 5b - Off-chip bandwidth (normalized to baseline)",
-        ),
-    )
-
-    # Section 6.2 headlines, averaged over all workload/capacity points.
-    traffic_ratios, hit_ratios = [], []
-    for workload in WORKLOAD_NAMES:
-        for capacity in CAPACITIES_MB:
-            page = results[(workload, capacity, "page")]
-            footprint = results[(workload, capacity, "footprint")]
-            block = results[(workload, capacity, "block")]
-            traffic_ratios.append(
-                page.offchip_traffic_normalized
-                / max(footprint.offchip_traffic_normalized, 1e-9)
-            )
-            hit_ratios.append(footprint.hit_ratio / max(block.hit_ratio, 1e-3))
-    headline = (
-        f"Headline (paper: 2.6x traffic cut vs page, 4.7x hit ratio vs block):\n"
-        f"  off-chip traffic, page/footprint geomean = "
-        f"{geometric_mean(traffic_ratios):.2f}x\n"
-        f"  hit ratio, footprint/block geomean       = "
-        f"{geometric_mean(hit_ratios):.2f}x"
-    )
-    emit("fig05_headlines", headline)
+    results = run_figure_bench(benchmark, "fig05").data
 
     for workload in WORKLOAD_NAMES:
         for capacity in CAPACITIES_MB:

@@ -3,88 +3,15 @@
 Five workloads (Data Serving is Fig. 7) x four capacities x four designs
 (block, page, footprint, ideal), plus the geomean panel, plus the
 Section 6.3 headlines: Footprint Cache ~57% over baseline and ~82% of the
-Ideal cache's performance.
+Ideal cache's performance.  Grid and renderer live in the figure registry.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import (
-    CAPACITIES_MB,
-    PRETTY,
-    baseline_for,
-    bench_spec,
-    emit,
-    geomean_improvement,
-    sweep,
-)
-
-FIG6_WORKLOADS = tuple(w for w in WORKLOAD_NAMES if w != "data_serving")
-DESIGNS = ("block", "page", "footprint", "ideal")
-
-SPEC = bench_spec(
-    workloads=FIG6_WORKLOADS, designs=DESIGNS, capacities_mb=CAPACITIES_MB
-)
+from common import run_figure_bench
+from repro.reporting.figures import FIG6_WORKLOADS
 
 
 def test_fig06_performance(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        out = {}
-        for workload in FIG6_WORKLOADS:
-            baseline = baseline_for(workload)
-            for capacity in CAPACITIES_MB:
-                for design in DESIGNS:
-                    result = results.get(
-                        workload=workload, design=design, capacity_mb=capacity
-                    )
-                    out[(workload, capacity, design)] = result.improvement_over(baseline)
-        return out
-
-    improvements = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    for workload in FIG6_WORKLOADS:
-        for capacity in CAPACITIES_MB:
-            rows.append(
-                (PRETTY[workload], f"{capacity}MB")
-                + tuple(
-                    percent(improvements[(workload, capacity, d)]) for d in DESIGNS
-                )
-            )
-    for capacity in CAPACITIES_MB:
-        rows.append(
-            ("Geomean", f"{capacity}MB")
-            + tuple(
-                percent(
-                    geomean_improvement(
-                        [improvements[(w, capacity, d)] for w in FIG6_WORKLOADS]
-                    )
-                )
-                for d in DESIGNS
-            )
-        )
-
-    emit(
-        "fig06_performance",
-        format_table(
-            ("Workload", "Capacity", "Block", "Page", "Footprint", "Ideal"),
-            rows,
-            title="Fig. 6 - Performance improvement over baseline",
-        ),
-    )
-
-    # Headlines at 512MB (the paper's '57%, 82% of Ideal' operating point).
-    footprint_512 = [improvements[(w, 512, "footprint")] for w in FIG6_WORKLOADS]
-    ideal_512 = [improvements[(w, 512, "ideal")] for w in FIG6_WORKLOADS]
-    fp = geomean_improvement(footprint_512)
-    ideal = geomean_improvement(ideal_512)
-    emit(
-        "fig06_headlines",
-        "Headline (paper: +57% over baseline, 82% of Ideal at 512MB):\n"
-        f"  footprint geomean improvement = {percent(fp)}\n"
-        f"  fraction of Ideal performance = {percent((1 + fp) / (1 + ideal))}",
-    )
+    improvements = run_figure_bench(benchmark, "fig06").data
 
     for workload in FIG6_WORKLOADS:
         # Footprint must win (or tie) against block and page at 512MB ...

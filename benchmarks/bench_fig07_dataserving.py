@@ -4,43 +4,11 @@ Data Serving is the most bandwidth-hungry workload; the page-based cache
 initially *hurts* it while Footprint Cache tracks the Ideal design.
 """
 
-from repro.analysis.report import format_table, percent
-
-from common import CAPACITIES_MB, baseline_for, bench_spec, emit, sweep
-
-DESIGNS = ("block", "page", "footprint", "ideal")
-
-SPEC = bench_spec(
-    workloads=("data_serving",), designs=DESIGNS, capacities_mb=CAPACITIES_MB
-)
+from common import run_figure_bench
 
 
 def test_fig07_data_serving(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        baseline = baseline_for("data_serving")
-        return {
-            (capacity, design): results.get(design=design, capacity_mb=capacity)
-            .improvement_over(baseline)
-            for capacity in CAPACITIES_MB
-            for design in DESIGNS
-        }
-
-    improvements = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [
-        (f"{capacity}MB",)
-        + tuple(percent(improvements[(capacity, d)]) for d in DESIGNS)
-        for capacity in CAPACITIES_MB
-    ]
-    emit(
-        "fig07_data_serving",
-        format_table(
-            ("Capacity", "Block", "Page", "Footprint", "Ideal"),
-            rows,
-            title="Fig. 7 - Data Serving performance improvement over baseline",
-        ),
-    )
+    improvements = run_figure_bench(benchmark, "fig07").data
 
     # Paper shape: page-based struggles at 64MB; footprint approaches
     # ideal at larger capacities.

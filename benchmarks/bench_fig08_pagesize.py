@@ -5,56 +5,11 @@ blocks stack on top.  The paper finds 1-2KB pages the sweet spot, with
 larger pages needing more history.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, bench_spec, emit, sweep
-
-PAGE_SIZES = (1024, 2048, 4096)
-N = 160_000
-
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES,
-    designs=("footprint",),
-    capacities_mb=(256,),
-    page_sizes=PAGE_SIZES,
-    cache_variants={"fht_entries": 16384},
-    num_requests=N,
-)
+from common import run_figure_bench
 
 
 def test_fig08_predictor_accuracy_vs_page_size(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        return {
-            (workload, page_size): results.get(workload=workload, page_size=page_size)
-            for workload in WORKLOAD_NAMES
-            for page_size in PAGE_SIZES
-        }
-
-    breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    for workload in WORKLOAD_NAMES:
-        for page_size in PAGE_SIZES:
-            b = breakdowns[(workload, page_size)]
-            rows.append(
-                (
-                    PRETTY[workload],
-                    f"{page_size}B",
-                    percent(b.predictor_coverage),
-                    percent(b.predictor_underprediction),
-                    percent(b.predictor_overprediction),
-                )
-            )
-    emit(
-        "fig08_predictor_accuracy",
-        format_table(
-            ("Workload", "Page", "Covered", "Underpredictions", "Overpredictions"),
-            rows,
-            title="Fig. 8 - Predictor accuracy vs page size (256MB, 16K FHT)",
-        ),
-    )
+    breakdowns = run_figure_bench(benchmark, "fig08").data
 
     for (workload, page_size), b in breakdowns.items():
         assert abs(b.predictor_coverage + b.predictor_underprediction - 1.0) < 1e-9

@@ -5,47 +5,12 @@ entries (144KB) comfortably past the knee; small histories thrash and
 lose coverage.
 """
 
-from repro.analysis.report import format_table, percent
+from common import run_figure_bench
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, bench_spec, emit, sweep
-
-FHT_SIZES = (256, 1024, 4096, 16384)
-N = 160_000
-
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES,
-    designs=("footprint",),
-    capacities_mb=(256,),
-    cache_variants=tuple({"fht_entries": entries} for entries in FHT_SIZES),
-    num_requests=N,
-)
 
 
 def test_fig09_fht_sensitivity(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        return {
-            (workload, entries): results.get(workload=workload, fht_entries=entries)
-            for workload in WORKLOAD_NAMES
-            for entries in FHT_SIZES
-        }
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = [
-        (PRETTY[workload],)
-        + tuple(percent(results[(workload, e)].hit_ratio) for e in FHT_SIZES)
-        for workload in WORKLOAD_NAMES
-    ]
-    emit(
-        "fig09_fht_sensitivity",
-        format_table(
-            ("Workload",) + tuple(f"{e} entries" for e in FHT_SIZES),
-            rows,
-            title="Fig. 9 - Hit ratio vs FHT size (256MB cache, 2KB pages)",
-        ),
-    )
+    results = run_figure_bench(benchmark, "fig09").data
 
     for workload in WORKLOAD_NAMES:
         # The paper's curve:16K entries never loses to a tiny history.

@@ -5,65 +5,16 @@ read/write burst energy.  Paper headline: Footprint Cache cuts total
 off-chip dynamic energy by 78% (block 71%, page 69%).
 """
 
-from repro.analysis.report import format_table, percent
+from common import run_figure_bench
 from repro.perf.stats import geometric_mean
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, baseline_for, bench_spec, emit, sweep
 
 DESIGNS = ("block", "page", "footprint")
 
-SPEC = bench_spec(workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=(256,))
-
 
 def test_fig10_offchip_energy(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        out = {}
-        for workload in WORKLOAD_NAMES:
-            out[(workload, "baseline")] = baseline_for(workload)
-            for design in DESIGNS:
-                out[(workload, design)] = results.get(workload=workload, design=design)
-        return out
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    reductions = {d: [] for d in DESIGNS}
-    for workload in WORKLOAD_NAMES:
-        base = results[(workload, "baseline")]
-        base_epi = base.offchip_energy_per_instruction()
-        row = [PRETTY[workload], "100.0%"]
-        for design in DESIGNS:
-            r = results[(workload, design)]
-            instructions = max(1, r.performance.instructions)
-            act = r.offchip_activate_nj / instructions / base_epi
-            burst = r.offchip_read_write_nj / instructions / base_epi
-            reductions[design].append(max(1e-3, act + burst))
-            row.append(f"{percent(act + burst)} (act {percent(act)} / rw {percent(burst)})")
-        rows.append(tuple(row))
-
-    geo_row = ["Geomean", "100.0%"]
-    for design in DESIGNS:
-        geo_row.append(percent(geometric_mean(reductions[design])))
-    rows.append(tuple(geo_row))
-
-    emit(
-        "fig10_offchip_energy",
-        format_table(
-            ("Workload", "Baseline", "Block", "Page", "Footprint"),
-            rows,
-            title="Fig. 10 - Off-chip DRAM energy per instruction (norm. to baseline)",
-        ),
-    )
+    reductions = run_figure_bench(benchmark, "fig10").data
 
     fp = geometric_mean(reductions["footprint"])
-    emit(
-        "fig10_headline",
-        "Headline (paper: footprint cuts off-chip dynamic energy by 78%):\n"
-        f"  footprint energy reduction = {percent(1 - fp)}",
-    )
-
     # Footprint must burn the least off-chip energy of the three designs.
     assert fp <= geometric_mean(reductions["page"]) + 0.02
     assert fp <= geometric_mean(reductions["block"]) + 0.02

@@ -4,62 +4,12 @@ Normalised to the block-based design.  Paper headline: Footprint Cache
 cuts total stacked dynamic energy by 24% vs block-based (page-based: 17%).
 """
 
-from repro.analysis.report import format_table, percent
+from common import run_figure_bench
 from repro.perf.stats import geometric_mean
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, bench_spec, emit, sweep
-
-DESIGNS = ("block", "page", "footprint")
-
-SPEC = bench_spec(workloads=WORKLOAD_NAMES, designs=DESIGNS, capacities_mb=(256,))
 
 
 def test_fig11_stacked_energy(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        return {
-            (workload, design): results.get(workload=workload, design=design)
-            for workload in WORKLOAD_NAMES
-            for design in DESIGNS
-        }
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    normalised = {d: [] for d in DESIGNS}
-    for workload in WORKLOAD_NAMES:
-        block = results[(workload, "block")]
-        block_epi = max(1e-9, block.stacked_energy_per_instruction())
-        row = [PRETTY[workload]]
-        for design in DESIGNS:
-            r = results[(workload, design)]
-            epi = r.stacked_energy_per_instruction() / block_epi
-            normalised[design].append(max(1e-3, epi))
-            row.append(percent(epi))
-        rows.append(tuple(row))
-    rows.append(
-        ("Geomean",)
-        + tuple(percent(geometric_mean(normalised[d])) for d in DESIGNS)
-    )
-
-    emit(
-        "fig11_stacked_energy",
-        format_table(
-            ("Workload", "Block", "Page", "Footprint"),
-            rows,
-            title="Fig. 11 - Stacked DRAM energy per instruction (norm. to block)",
-        ),
-    )
-
-    fp = geometric_mean(normalised["footprint"])
-    page = geometric_mean(normalised["page"])
-    emit(
-        "fig11_headline",
-        "Headline (paper: footprint -24%, page -17% vs block):\n"
-        f"  footprint stacked-energy reduction = {percent(1 - fp)}\n"
-        f"  page stacked-energy reduction      = {percent(1 - page)}",
-    )
+    normalised = run_figure_bench(benchmark, "fig11").data
 
     # Footprint must use no more stacked energy than the block design.
-    assert fp < 1.05
+    assert geometric_mean(normalised["footprint"]) < 1.05

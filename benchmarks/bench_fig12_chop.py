@@ -1,56 +1,17 @@
 """Fig. 12 / Section 6.7 — the CHOP hot-page analysis.
 
-Two parts: (a) Fig. 12's ideal-cache-size-for-coverage curve (perfect
-predictor, ideal replacement, 4KB pages) showing scale-out workloads have
-no compact hot set; (b) an actual CHOP-style filter cache run showing it
-bypasses most traffic and hits rarely.
+Two registered figures: (a) Fig. 12's ideal-cache-size-for-coverage curve
+(perfect predictor, ideal replacement, 4KB pages) showing scale-out
+workloads have no compact hot set; (b) an actual CHOP-style filter cache
+run showing it bypasses most traffic and hits rarely.
 """
 
-from repro.analysis.coverage import access_counts_per_page, coverage_curve
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES, make_workload
-
-from common import PRETTY, SCALE, SEED, bench_spec, emit, run_design, sweep
-
-POINTS = (0.2, 0.4, 0.6, 0.8)
-N = 160_000
-
-CHOP_WORKLOADS = ("data_serving", "web_search")
-CHOP_SPEC = bench_spec(
-    workloads=CHOP_WORKLOADS, designs=("chop",), capacities_mb=(256,)
-)
+from common import SCALE, run_figure_bench
+from repro.reporting.figures import CHOP_WORKLOADS
 
 
 def test_fig12_coverage_curves(benchmark):
-    def compute():
-        curves = {}
-        for workload in WORKLOAD_NAMES:
-            trace = make_workload(
-                workload, seed=SEED, dataset_scale=64 / SCALE
-            ).requests(N)
-            counts = access_counts_per_page(trace, page_size=4096)
-            curves[workload] = (coverage_curve(counts, points=POINTS), len(counts))
-        return curves
-
-    curves = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    for workload in WORKLOAD_NAMES:
-        curve, touched_pages = curves[workload]
-        # Rescale simulated bytes back to paper-equivalent megabytes.
-        row = [PRETTY[workload]] + [
-            f"{size * SCALE / (1024 * 1024):.0f}MB" for _, size in curve
-        ]
-        rows.append(tuple(row))
-    emit(
-        "fig12_chop_coverage",
-        format_table(
-            ("Workload",) + tuple(percent(p, 0) for p in POINTS),
-            rows,
-            title="Fig. 12 - Ideal cache size to cover a fraction of accesses "
-            "(4KB pages, paper-equivalent MB)",
-        ),
-    )
+    curves = run_figure_bench(benchmark, "fig12").data
 
     # Section 6.7: covering 80% of accesses needs caches beyond the
     # practical range (paper: >1GB; ours: far above 512MB equivalents).
@@ -61,25 +22,9 @@ def test_fig12_coverage_curves(benchmark):
 
 
 def test_chop_cache_ineffective(benchmark):
-    def compute():
-        results = sweep(CHOP_SPEC)
-        return {
-            workload: results.get(workload=workload) for workload in CHOP_WORKLOADS
-        }
+    data = run_figure_bench(benchmark, "sec67").data
 
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = [
-        (PRETTY[w], percent(r.hit_ratio), percent(r.bypass_ratio))
-        for w, r in results.items()
-    ]
-    emit(
-        "sec67_chop_cache",
-        format_table(
-            ("Workload", "Hit ratio", "Bypassed"),
-            rows,
-            title="Section 6.7 - CHOP-style hot-page filter cache (256MB)",
-        ),
-    )
-    for workload, result in results.items():
-        footprint = run_design(workload, "footprint", 256)
-        assert result.hit_ratio < footprint.hit_ratio, workload
+    for workload in CHOP_WORKLOADS:
+        chop = data["chop"][workload]
+        footprint = data["footprint"][workload]
+        assert chop.hit_ratio < footprint.hit_ratio, workload

@@ -4,53 +4,17 @@ The paper checks whether giving the baseline the SRAM a DRAM cache would
 spend on tags (~2MB of extra L2) closes any of the gap: "this enhanced
 baseline provides negligible benefit on scale-out workloads".  The extra
 L2 slice is a declarative system variant (``extra_l2_bytes``), so the
-plain and enhanced baselines are one two-variant spec through the
-experiment engine: the same trace replays through both (same workload,
-seed and length), and both land in the result store under distinct keys.
+plain and enhanced baselines are one two-variant spec in the figure
+registry: the same trace replays through both (same workload, seed and
+length), and both land in the result store under distinct keys.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, SCALE, SEED, bench_spec, emit, sweep
-
-N = 120_000
-# 2MB of extra SRAM, scaled like everything else.
-EXTRA_L2_BYTES = max(16 * 1024, 2 * 1024 * 1024 // SCALE)
-
-# The paper grows the *existing* L2, so the extra capacity adds no lookup
-# latency to misses; the variant models the pure capacity effect.
-ENHANCED = {"extra_l2_bytes": EXTRA_L2_BYTES}
-
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES,
-    designs=("baseline",),
-    num_requests=N,
-    seeds=(SEED,),
-    system_variants=({}, ENHANCED),
-)
+from common import run_figure_bench
 
 
 def test_sec63_enhanced_baseline(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        rows = []
-        for workload in WORKLOAD_NAMES:
-            plain = results.get(workload=workload, system_kwargs=())
-            enhanced = results.get(workload=workload, extra_l2_bytes=EXTRA_L2_BYTES)
-            benefit = enhanced.aggregate_ipc / plain.aggregate_ipc - 1.0
-            rows.append((PRETTY[workload], percent(benefit)))
-        return rows
+    rows = run_figure_bench(benchmark, "sec63").data
 
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    emit(
-        "sec63_enhanced_baseline",
-        format_table(
-            ("Workload", "Benefit of +2MB L2"),
-            rows,
-            title="Section 6.3 - enhanced baseline (extra L2 instead of tags)",
-        ),
-    )
     # "Negligible benefit": well under the gains any DRAM cache delivers.
     for _, benefit in rows:
         assert float(benefit.rstrip("%")) < 15.0

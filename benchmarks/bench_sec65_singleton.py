@@ -2,77 +2,15 @@
 
 The paper reports that not allocating singleton pages reduces the miss
 rate by ~10% on average, with the largest effect at small capacities.
-We run Footprint Cache with the Singleton Table enabled and disabled.
+The registered figure runs Footprint Cache with the Singleton Table
+enabled and disabled.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.perf.stats import geometric_mean
-from repro.workloads.cloudsuite import WORKLOAD_NAMES
-
-from common import PRETTY, bench_spec, emit, sweep
-
-CAPACITIES = (64, 128)
-
-# Writing the enabled default out explicitly keeps both variants in one
-# grid; the store hashes it identically to the plain footprint points.
-SPEC = bench_spec(
-    workloads=WORKLOAD_NAMES,
-    designs=("footprint",),
-    capacities_mb=CAPACITIES,
-    cache_variants=(
-        {"singleton_optimization": True},
-        {"singleton_optimization": False},
-    ),
-)
+from common import run_figure_bench
 
 
 def test_sec65_singleton_optimization(benchmark):
-    def compute():
-        results = sweep(SPEC)
-        return {
-            (workload, capacity, enabled): results.get(
-                workload=workload, capacity_mb=capacity,
-                singleton_optimization=enabled,
-            )
-            for workload in WORKLOAD_NAMES
-            for capacity in CAPACITIES
-            for enabled in (True, False)
-        }
+    data = run_figure_bench(benchmark, "sec65").data
 
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-
-    rows = []
-    relative = []
-    for workload in WORKLOAD_NAMES:
-        for capacity in CAPACITIES:
-            with_opt = results[(workload, capacity, True)]
-            without = results[(workload, capacity, False)]
-            change = with_opt.miss_ratio / max(without.miss_ratio, 1e-9)
-            relative.append(max(0.01, change))
-            rows.append(
-                (
-                    PRETTY[workload],
-                    f"{capacity}MB",
-                    percent(without.miss_ratio),
-                    percent(with_opt.miss_ratio),
-                    percent(with_opt.bypass_ratio),
-                    f"{(1 - change) * 100:+.1f}%",
-                )
-            )
-    emit(
-        "sec65_singleton",
-        format_table(
-            ("Workload", "Capacity", "MR (no ST)", "MR (ST)", "Bypassed", "MR reduction"),
-            rows,
-            title="Section 6.5 - Singleton optimisation: miss-rate impact",
-        ),
-    )
-
-    average_reduction = 1 - geometric_mean(relative)
-    emit(
-        "sec65_headline",
-        "Headline (paper: ~10% average miss-rate reduction):\n"
-        f"  measured average reduction = {average_reduction * 100:.1f}%",
-    )
     # The optimisation must not *hurt* on average.
-    assert average_reduction > -0.05
+    assert data["average_reduction"] > -0.05

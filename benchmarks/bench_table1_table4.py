@@ -1,120 +1,25 @@
 """Tables 1 and 4 — design comparison and metadata overheads.
 
-Table 1 is the paper's qualitative block-vs-page comparison; we print it
-alongside *measured* quantities (hit ratio, traffic, tag latency) that
-justify each check mark.  Table 4 is the tag-storage/latency model.
+Table 1 is the paper's qualitative block-vs-page comparison; the
+registered figure prints it alongside *measured* quantities (hit ratio,
+traffic, tag latency) that justify each check mark.  Table 4 is the
+tag-storage/latency model.
 """
 
-from repro.analysis.report import format_table, percent
-from repro.core.overheads import overheads_for, table4
-
-from common import bench_spec, emit, sweep
-
-MB = 1024 * 1024
-
-ACTIVATE_PAIR_NJ = 20.0  # DramEnergyModel.off_chip().activate_precharge_nj
-
-TABLE1_SPEC = bench_spec(
-    workloads=("web_search",),
-    designs=("block", "page", "footprint"),
-    capacities_mb=(256,),
-)
-
-
-def _bytes_per_activation(result) -> float:
-    """Off-chip bytes moved per row activation (DRAM locality metric)."""
-    activations = result.offchip_activate_nj / ACTIVATE_PAIR_NJ
-    if activations == 0:
-        return float("inf")
-    return result.offchip_bytes / activations
+from common import run_figure_bench
 
 
 def test_table1_design_comparison(benchmark):
-    def compute():
-        results = sweep(TABLE1_SPEC)
-        return {
-            design: results.get(design=design)
-            for design in ("block", "page", "footprint")
-        }
+    rows = run_figure_bench(benchmark, "table1").data
 
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
-    block, page, footprint = results["block"], results["page"], results["footprint"]
-
-    def yesno(flag):
-        return "yes" if flag else "no"
-
-    rows = [
-        (
-            "Small and fast tag storage",
-            yesno(False),  # block: MissMap ~2MB + tags in DRAM
-            yesno(True),
-            yesno(True),
-        ),
-        (
-            "Low off-chip traffic",
-            yesno(block.offchip_traffic_normalized < 1.2),
-            yesno(page.offchip_traffic_normalized < 1.2),
-            yesno(footprint.offchip_traffic_normalized < 1.2),
-        ),
-        (
-            "High hit ratio",
-            yesno(block.hit_ratio > 0.7),
-            yesno(page.hit_ratio > 0.7),
-            yesno(footprint.hit_ratio > 0.7),
-        ),
-        ("Low hit latency", yesno(False), yesno(True), yesno(True)),
-        (
-            # Locality = bytes moved per row activation: page-organised
-            # designs amortise one activation over a whole page/footprint.
-            "High DRAM locality",
-            yesno(_bytes_per_activation(block) > 192),
-            yesno(_bytes_per_activation(page) > 192),
-            yesno(_bytes_per_activation(footprint) > 192),
-        ),
-        (
-            "Efficient capacity mgmt",
-            yesno(True),
-            yesno(False),
-            yesno(footprint.bypass_ratio > 0.0),
-        ),
-    ]
-    emit(
-        "table1_comparison",
-        format_table(
-            ("Feature", "Block-based", "Page-based", "Footprint"),
-            rows,
-            title="Table 1 (extended) - design comparison, measured at 256MB",
-        ),
-    )
     # Footprint must tick every box the paper claims.
     for _, _, _, fp in rows:
         assert fp == "yes"
 
 
 def test_table4_overheads(benchmark):
-    def compute():
-        return table4()
+    table = run_figure_bench(benchmark, "table4").data
 
-    table = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = []
-    for design in ("footprint", "block", "page"):
-        for capacity, overheads in sorted(table[design].items()):
-            rows.append(
-                (
-                    design,
-                    f"{capacity}MB",
-                    f"{overheads.storage_mb:.2f}MB",
-                    f"{overheads.latency_cycles} cycles",
-                )
-            )
-    emit(
-        "table4_overheads",
-        format_table(
-            ("Design", "Capacity", "Metadata SRAM", "Lookup latency"),
-            rows,
-            title="Table 4 - Tag/metadata storage and latency",
-        ),
-    )
     # Spot checks against the paper.
     assert table["footprint"][64].storage_mb < 0.45
     assert table["footprint"][512].latency_cycles == 11

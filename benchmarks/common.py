@@ -1,118 +1,64 @@
 """Shared infrastructure for the paper-reproduction benches.
 
-Every bench regenerates one table or figure of the paper and prints it in
-the paper's row/series layout.  Simulation happens through the experiment
-engine (:mod:`repro.exp`): benches declare their grid as an
-:class:`~repro.exp.ExperimentSpec`, :func:`sweep` executes it (parallel
-when ``REPRO_BENCH_JOBS`` > 1), and every result lands in the persistent
-:class:`~repro.exp.ResultStore` under ``benchmarks/results/cache/`` — so
-Figs. 5, 6, 7, 10 and 11, which all consume the same design x capacity x
-workload runs, share points within *and across* pytest sessions.
+Every bench regenerates one or two deliverables of the paper through the
+figure registry (:mod:`repro.reporting`): the registry entry declares the
+:class:`~repro.exp.ExperimentSpec` grid(s) and the renderer, so a bench
+is a thin :func:`run_figure_bench` call plus the assertions that guard
+the paper's claims.  Simulation happens through the experiment engine:
+missing points fan out over worker processes (``REPRO_BENCH_JOBS`` > 1)
+and every result lands in the persistent :class:`~repro.exp.ResultStore`
+under ``benchmarks/results/cache/`` — so Figs. 5, 6, 7, 10 and 11, which
+all consume the same design x capacity x workload runs, share points
+within *and across* pytest sessions.  The rendered text artifacts are
+archived under ``benchmarks/results/`` (see ``benchmarks/README.md`` for
+which files are golden and which are disposable).
 
 Scaling: benches run at ``SCALE = 256`` (a 256MB cache is simulated as
 1MB against a proportionally scaled dataset; see DESIGN.md §5).  Trace
 lengths are capacity-aware so larger caches get enough evictions to warm
-the footprint history.
+the footprint history.  The same constants drive the registry and the
+``python -m repro report`` CLI, so bench output and CLI output are
+byte-identical.
 """
 
 from __future__ import annotations
 
-import functools
 import os
-from typing import Tuple
 
-from repro.exp import (
-    ExperimentPoint,
-    ExperimentSpec,
-    ResultStore,
-    SweepResult,
-    SweepRunner,
-    default_requests,
+from repro.exp import ResultStore, SweepRunner
+from repro.reporting import FigureOutput, run_figure, write_artifacts
+from repro.reporting.figures import (  # noqa: F401  (re-exported for benches)
+    CAPACITIES_MB,
+    MB,
+    PRETTY,
+    SCALE,
+    SEED,
+    geomean_improvement,
 )
-from repro.perf.stats import geometric_mean
-from repro.sim.simulator import SimulationResult
-
-MB = 1024 * 1024
-SCALE = 256
-CAPACITIES_MB = (64, 128, 256, 512)
-SEED = 0
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 STORE = ResultStore(os.path.join(RESULTS_DIR, "cache"))
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 RUNNER = SweepRunner(store=STORE, jobs=JOBS)
 
-PRETTY = {
-    "data_serving": "Data Serving",
-    "mapreduce": "MapReduce",
-    "multiprogrammed": "Multiprogrammed",
-    "sat_solver": "SAT Solver",
-    "web_frontend": "Web Frontend",
-    "web_search": "Web Search",
-}
+
+def publish(output: FigureOutput) -> None:
+    """Print a figure's tables and archive them under benchmarks/results/."""
+    for artifact in output.artifacts:
+        print()
+        print(artifact.text)
+    write_artifacts(output, RESULTS_DIR)
 
 
-def requests_for(capacity_mb: int) -> int:
-    """Capacity-aware trace length: bigger caches need more evictions."""
-    return default_requests(capacity_mb, SCALE)
+def run_figure_bench(benchmark, name: str) -> FigureOutput:
+    """Run one registered figure under the bench harness and publish it.
 
-
-def bench_spec(**axes) -> ExperimentSpec:
-    """An :class:`ExperimentSpec` at the benches' scale and seed."""
-    axes.setdefault("scale", SCALE)
-    axes.setdefault("seeds", (SEED,))
-    return ExperimentSpec(**axes)
-
-
-def sweep(spec: ExperimentSpec) -> SweepResult:
-    """Execute a grid through the shared runner and result store."""
-    return RUNNER.run(spec)
-
-
-@functools.lru_cache(maxsize=None)
-def run_design(
-    workload: str,
-    design: str,
-    capacity_mb: int,
-    extras: Tuple[Tuple[str, object], ...] = (),
-    num_requests: int = 0,
-    seed: int = SEED,
-) -> SimulationResult:
-    """One (workload, design, capacity) point through the engine.
-
-    Served from the :class:`ResultStore` when a sweep (this session or an
-    earlier one) already produced the point; memoised in-process on top.
+    The sweep + render is the measured region; artifacts are written
+    after timing.  Returns the :class:`FigureOutput` so the bench can
+    assert on the renderer's underlying data.
     """
-    point = ExperimentPoint(
-        workload=workload,
-        design=design,
-        capacity_mb=capacity_mb,
-        scale=SCALE,
-        num_requests=num_requests,
-        seed=seed,
-        cache_kwargs=extras,
+    output = benchmark.pedantic(
+        lambda: run_figure(name, runner=RUNNER), rounds=1, iterations=1
     )
-    return RUNNER.run_one(point)
-
-
-def baseline_for(workload: str, num_requests: int = 0) -> SimulationResult:
-    """The no-DRAM-cache baseline for a workload.
-
-    The baseline is capacity-independent and hashes as such in the store
-    (:class:`ExperimentPoint` normalises its capacity away).
-    """
-    return run_design(workload, "baseline", 0, num_requests=num_requests or 120_000)
-
-
-def geomean_improvement(improvements) -> float:
-    """Geometric-mean improvement over a set of per-workload speedups."""
-    return geometric_mean([1.0 + i for i in improvements]) - 1.0
-
-
-def emit(name: str, text: str) -> None:
-    """Print a bench's table and archive it under benchmarks/results/."""
-    print()
-    print(text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")
+    publish(output)
+    return output

@@ -17,6 +17,19 @@ milliseconds; ``--no-cache`` forces re-simulation.  A sweep can also be
 loaded from a serialised :class:`~repro.exp.ExperimentSpec`::
 
     python -m repro sweep --spec examples/specs/quick_sweep.json
+
+Regenerate paper figures straight from the result store (missing points
+are simulated first, everything else is served from the store)::
+
+    python -m repro report --list
+    python -m repro report fig01 fig05 --jobs 4
+    python -m repro report            # every registered figure
+
+And keep the store itself healthy::
+
+    python -m repro store stats
+    python -m repro store compact     # drop stale/orphaned/duplicate records
+    python -m repro store gc          # also drop records no figure references
 """
 
 from __future__ import annotations
@@ -126,6 +139,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore stored results (fresh results are still recorded)",
     )
     sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default benchmarks/results/cache, "
+        "or $REPRO_RESULT_STORE)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="regenerate paper figures/tables from the result store",
+        description="Render registered paper figures.  Each figure declares "
+        "the experiment grid it consumes; missing points are simulated "
+        "through the sweep runner (and recorded in the store), everything "
+        "else is served from the store, and the renderer writes the "
+        "canonical text artifact(s) under benchmarks/results/.",
+    )
+    report.add_argument(
+        "figures", nargs="*", metavar="FIGURE",
+        help="figures to render (default: all; see --list)",
+    )
+    report.add_argument(
+        "--list", action="store_true", dest="list_figures",
+        help="list registered figures and their artifacts, then exit",
+    )
+    report.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for missing points (default 1; 0 = one per CPU)",
+    )
+    report.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore stored results (fresh results are still recorded)",
+    )
+    report.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default benchmarks/results/cache, "
+        "or $REPRO_RESULT_STORE)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact output directory (default benchmarks/results)",
+    )
+    report.add_argument(
+        "--csv", action="store_true",
+        help="also write each tabular artifact as <name>.csv",
+    )
+    report.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-point progress and rendered tables; print only "
+        "the summary lines",
+    )
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain the persistent result store",
+        description="The JSONL result store is append-only: engine-version "
+        "bumps, re-runs and crashes leave dead lines behind.  'stats' "
+        "classifies every line; 'compact' rewrites the file keeping only "
+        "live records (byte-for-byte); 'gc' additionally drops records "
+        "that no registered figure references.",
+    )
+    store.add_argument(
+        "action", choices=("stats", "compact", "gc"),
+        help="stats: classify lines; compact: drop stale/orphaned/duplicate/"
+        "torn records; gc: compact plus drop figure-unreferenced records",
+    )
+    store.add_argument(
         "--store", default=None, metavar="DIR",
         help="result store directory (default benchmarks/results/cache, "
         "or $REPRO_RESULT_STORE)",
@@ -280,10 +357,128 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_report(args) -> int:
+    # Imported lazily: the registry builds every figure's spec on import.
+    import os
+
+    from repro.exp.store import default_results_dir
+    from repro.reporting import figure_names, get_figure, run_figure, write_artifacts
+
+    if args.list_figures:
+        rows = [
+            (name, get_figure(name).title, ", ".join(get_figure(name).artifacts))
+            for name in figure_names()
+        ]
+        print(format_table(("figure", "title", "artifacts"), rows))
+        return 0
+
+    names = args.figures or list(figure_names())
+    unknown = [name for name in names if name not in figure_names()]
+    if unknown:
+        print(
+            f"error: unknown figure(s) {', '.join(unknown)}; "
+            f"one of: {', '.join(figure_names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    store = ResultStore(args.store)
+    out_dir = args.out or default_results_dir()
+
+    def progress(tick) -> None:
+        status = "hit" if tick.cached else "run"
+        print(
+            f"[{tick.completed}/{tick.total}] {tick.point.label():40s} {status}",
+            flush=True,
+        )
+
+    started = time.perf_counter()
+    total_points = total_hits = total_simulated = 0
+    summaries = []
+    for name in names:
+        try:
+            output = run_figure(
+                name,
+                store=store,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                progress=None if args.quiet else progress,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        paths = write_artifacts(output, out_dir, with_csv=args.csv)
+        if not args.quiet:
+            for artifact in output.artifacts:
+                print()
+                print(artifact.text)
+        total_points += output.points
+        total_hits += output.hits
+        total_simulated += output.simulated
+        summaries.append(
+            f"{name}: {output.points} points ({output.hits} cache hits, "
+            f"{output.simulated} simulated) -> "
+            f"{', '.join(os.path.basename(p) for p in paths)}"
+        )
+    elapsed = time.perf_counter() - started
+
+    print()
+    for line in summaries:
+        print(line)
+    summary = (
+        f"{len(names)} figure(s), {total_points} points in {elapsed:.1f}s: "
+        f"{total_hits} cache hits, {total_simulated} simulated "
+        f"(store: {store.path})"
+    )
+    if total_points > 0 and total_simulated == 0:
+        summary += " — all points served from the result store"
+    print(summary)
+    return 0
+
+
+def _run_store(args) -> int:
+    store = ResultStore(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ("total lines", str(stats.total_lines)),
+            ("live", str(stats.live)),
+            ("stale engine", str(stats.stale_engine)),
+            ("orphaned", str(stats.orphaned)),
+            ("duplicates", str(stats.duplicates)),
+            ("torn lines", str(stats.torn)),
+            ("file size", f"{stats.file_bytes} bytes"),
+            ("reclaimable", str(stats.reclaimable)),
+        ]
+        print(format_table(("metric", "value"), rows, title=f"Store {stats.path}"))
+        return 0
+
+    if args.action == "gc":
+        # Everything any registered figure consumes stays warm; the rest
+        # (abandoned one-off sweeps, retired grids) is garbage.
+        from repro.reporting import referenced_points
+
+        result = store.gc(referenced_points())
+    else:
+        result = store.compact()
+    print(
+        f"{args.action}: kept {result.kept} records, dropped {result.dropped} "
+        f"({result.dropped_stale} stale engine, {result.dropped_orphaned} "
+        f"orphaned, {result.dropped_duplicates} duplicate, "
+        f"{result.dropped_torn} torn, {result.dropped_unreferenced} "
+        f"unreferenced); {result.bytes_before} -> {result.bytes_after} bytes"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "store":
+        return _run_store(args)
     return _run_single(args)
 
 

@@ -32,13 +32,20 @@ from repro.exp.spec import (
     freeze_kwargs,
     split_timing_kwargs,
 )
-from repro.exp.store import ResultStore, default_store_dir
+from repro.exp.store import (
+    CompactionStats,
+    ResultStore,
+    StoreStats,
+    default_store_dir,
+)
 
 __all__ = [
+    "CompactionStats",
     "ENGINE_VERSION",
     "ExperimentPoint",
     "ExperimentSpec",
     "ResultStore",
+    "StoreStats",
     "SweepProgress",
     "SweepResult",
     "SweepRunner",

@@ -145,6 +145,18 @@ class SweepRunner:
         still written back) — the CLI's ``--no-cache``.
     progress:
         Optional callable receiving a :class:`SweepProgress` per point.
+
+    Guarantees:
+
+    * **Determinism** — every point is an independent simulation with
+      its own seed (the seed is part of the point), so serial,
+      ``jobs=N`` and store-served runs return bit-identical results.
+    * **Single writer** — only the parent process appends to the store;
+      workers return results over the pool.  Each result is persisted
+      the moment its worker finishes, so an interrupted sweep keeps
+      everything already simulated.
+    * **Key dedup** — points that resolve to one config (two spellings
+      of the same experiment) simulate once and share the result.
     """
 
     def __init__(

@@ -45,6 +45,17 @@ from repro.sim.config import (
 ENGINE_VERSION = "2"
 """Bump to invalidate every stored result when simulator semantics change.
 
+The version is hashed into every :meth:`ExperimentPoint.key`, so a bump
+makes every previously stored result unreachable at once — no manual
+pruning, no risk of serving results computed by older simulator
+semantics.  Bump it whenever a change alters *what a simulation
+computes* (timing model fixes, new default behaviour, workload generator
+changes); do NOT bump for pure refactors, reporting changes, or new
+optional knobs left at their defaults, since those keep old results
+valid.  Old-version records stay on disk until
+``python -m repro store compact`` (or :meth:`ResultStore.compact`)
+rewrites the store without them.
+
 History: "1" — the original engine; "2" — the declarative-configuration
 redesign (timing/system variants entered the resolved config and every
 hash).
@@ -103,14 +114,37 @@ def split_timing_kwargs(
 class ExperimentPoint:
     """One simulation in a sweep.
 
-    ``num_requests`` of 0 means "capacity-aware default"
-    (:func:`default_requests`).  ``capacity_mb`` is the *paper* capacity;
-    the baseline design is capacity-independent, so its capacity is
-    normalised to 0 and every nominal capacity maps to one stored result.
-    ``system_kwargs`` overrides :class:`~repro.sim.config.SystemConfig`
-    fields; ``timing_kwargs`` holds role-prefixed
-    :class:`~repro.sim.config.TimingConfig` overrides
-    (see :func:`split_timing_kwargs`).
+    Parameters
+    ----------
+    workload:
+        A :data:`~repro.workloads.cloudsuite.WORKLOAD_NAMES` entry.
+    design:
+        A registered cache design (:func:`~repro.caches.registry.design_names`).
+    capacity_mb:
+        The *paper* capacity; the simulated capacity is this divided by
+        ``scale``.  The baseline design is capacity-independent, so its
+        capacity is normalised to 0 and every nominal capacity maps to
+        one stored result.
+    scale:
+        Capacity/dataset scale-down factor (256 = benches' default,
+        1 = paper-sized).
+    num_requests:
+        Trace length; 0 means "capacity-aware default"
+        (:func:`default_requests`).
+    seed / page_size:
+        Trace seed and cache page size in bytes.
+    cache_kwargs / system_kwargs / timing_kwargs:
+        Declarative overrides of :class:`~repro.sim.config.CacheConfig`,
+        :class:`~repro.sim.config.SystemConfig` and (role-prefixed, see
+        :func:`split_timing_kwargs`) :class:`~repro.sim.config.TimingConfig`
+        fields.  Normalised to sorted tuples so points hash and compare
+        by value.
+
+    Key stability: :meth:`key` hashes the *resolved* configuration (plus
+    :data:`ENGINE_VERSION`), not this dataclass — see :meth:`describe`
+    for exactly what enters the hash and why.  Construction fails fast
+    on unknown designs, capacities, system fields and timing keys or
+    presets, so a bad point never reaches a worker process.
     """
 
     workload: str
@@ -253,6 +287,18 @@ class ExperimentSpec:
     accept a dict (one variant) or a sequence of dicts / item tuples.
     The grid is the cross product of all axes, deduplicated (the baseline
     design collapses across capacities).
+
+    Guarantees:
+
+    * ``points()`` order is deterministic — grid order, independent of
+      the process, platform or store state — so progress output and
+      result tables are stable across runs.
+    * Two specs that spell the same grid differently (scalar vs
+      one-element tuple, defaults written out) produce equal points and
+      therefore identical store keys.
+    * ``to_dict``/``from_dict`` (and ``to_json``/``from_json``, the
+      ``--spec`` file format) round-trip exactly; unknown fields are
+      rejected rather than ignored.
 
     >>> spec = ExperimentSpec(workloads="web_search",
     ...                       designs=("page", "footprint"),

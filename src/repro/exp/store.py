@@ -12,15 +12,26 @@ load.  Because the key hashes the *resolved* simulation config plus an
 engine-version tag (:meth:`repro.exp.spec.ExperimentPoint.key`), results
 persist across processes and pytest sessions and are invalidated in bulk
 by bumping :data:`repro.exp.spec.ENGINE_VERSION`.
+
+Invalidation leaves dead lines behind: appending never deletes, so an
+engine bump strands every old-version record, a re-run after ``--no-cache``
+strands superseded duplicates, and a crash mid-append can leave a torn
+tail line.  The store is self-managing through :meth:`ResultStore.stats`
+(classify every line), :meth:`ResultStore.compact` (rewrite the file
+with only the live records, byte-for-byte) and :meth:`ResultStore.gc`
+(compact plus dropping records no known experiment references) — exposed
+on the command line as ``python -m repro store {stats,compact,gc}``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.exp.spec import ExperimentPoint
+from repro.exp.spec import ENGINE_VERSION, ExperimentPoint
 from repro.sim.simulator import SimulationResult
 
 STORE_FILENAME = "results.jsonl"
@@ -45,8 +56,103 @@ def default_store_dir() -> str:
     return os.path.join(root, "benchmarks", "results", "cache")
 
 
+def default_results_dir() -> str:
+    """Where rendered figure artifacts go: ``benchmarks/results``.
+
+    Anchored to the repo checkout like :func:`default_store_dir`, but
+    deliberately *not* affected by ``$REPRO_RESULT_STORE``: redirecting
+    the store must never silently redirect the golden ``.txt`` output.
+    """
+    root = _REPO_ROOT if os.path.isdir(os.path.join(_REPO_ROOT, "benchmarks")) else ""
+    return os.path.join(root, "benchmarks", "results")
+
+
+def _point_key(payload: Any) -> str:
+    """Recompute a record's key from its stored ``point`` payload.
+
+    Mirrors :meth:`repro.exp.spec.ExperimentPoint.key` exactly: the key
+    is the sha256 prefix of the sorted-JSON ``describe()`` payload, and
+    ``describe()`` output is pure JSON, so hashing the loaded payload
+    reproduces the original hash bit-for-bit.  A mismatch means the line
+    was hand-edited, was produced by an incompatible hashing scheme, or
+    its key belongs to a different point — an *orphaned* record that no
+    lookup can ever legitimately serve.
+    """
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:20]
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """One classification pass over the store file (``repro store stats``).
+
+    Every line falls in exactly one bucket: ``live`` (the record lookups
+    can serve), ``stale_engine`` (written by a different
+    :data:`~repro.exp.spec.ENGINE_VERSION`), ``orphaned`` (key does not
+    match its own point payload), ``duplicates`` (superseded by a later
+    append of the same key) or ``torn`` (unparseable, e.g. a crashed
+    append).  ``total_lines`` counts non-blank lines, so it is the sum
+    of the five buckets.
+    """
+
+    path: str
+    file_bytes: int
+    total_lines: int
+    live: int
+    stale_engine: int
+    orphaned: int
+    duplicates: int
+    torn: int
+
+    @property
+    def reclaimable(self) -> int:
+        """Lines :meth:`ResultStore.compact` would drop."""
+        return self.stale_engine + self.orphaned + self.duplicates + self.torn
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :meth:`ResultStore.compact` / :meth:`~ResultStore.gc` did."""
+
+    kept: int
+    dropped_stale: int
+    dropped_orphaned: int
+    dropped_duplicates: int
+    dropped_torn: int
+    dropped_unreferenced: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def dropped(self) -> int:
+        """Total records removed from the file."""
+        return (
+            self.dropped_stale
+            + self.dropped_orphaned
+            + self.dropped_duplicates
+            + self.dropped_torn
+            + self.dropped_unreferenced
+        )
+
+
 class ResultStore:
-    """Append-only JSONL store of :class:`SimulationResult` by config hash."""
+    """Append-only JSONL store of :class:`SimulationResult` by config hash.
+
+    Guarantees
+    ----------
+    * **Key stability** — the key is a content hash of the resolved
+      simulation config (:meth:`ExperimentPoint.key`), so it is stable
+      across processes, Python versions and insertion order, and two
+      spellings of one experiment share one entry.
+    * **Last write wins** — :meth:`put` appends; :meth:`get` serves the
+      most recent record for a key.  Appends are atomic at the line
+      level on POSIX, and torn lines are skipped on load.
+    * **Engine versioning** — records written under a different
+      :data:`~repro.exp.spec.ENGINE_VERSION` hash differently and are
+      invisible to lookups; they stay on disk until :meth:`compact`.
+    * **Maintenance is lossless for live data** — :meth:`compact` and
+      :meth:`gc` preserve the exact bytes of every record they keep.
+    """
 
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory or default_store_dir()
@@ -92,6 +198,126 @@ class ResultStore:
     def invalidate(self) -> None:
         """Forget the in-memory index (reload from disk on next access)."""
         self._index = None
+
+    # ------------------------------------------------------------------
+    # Maintenance: stats / compact / gc
+    # ------------------------------------------------------------------
+
+    def _classify(self) -> List[Tuple[str, str, Optional[str]]]:
+        """Classify every non-blank line as ``(raw, kind, key)``.
+
+        ``kind`` is one of ``live`` / ``stale`` / ``orphaned`` /
+        ``duplicate`` / ``torn``; ``raw`` is the line exactly as stored
+        (without the trailing newline) so maintenance can rewrite kept
+        records byte-for-byte.
+        """
+        entries: List[Tuple[str, str, Optional[str]]] = []
+        last_for_key: Dict[str, int] = {}
+        if os.path.exists(self.path):
+            with open(self.path) as handle:
+                for line in handle:
+                    raw = line.rstrip("\n")
+                    if not raw.strip():
+                        continue
+                    try:
+                        record = json.loads(raw)
+                        key = record["key"]
+                        point = record["point"]
+                        record["result"]
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        entries.append((raw, "torn", None))
+                        continue
+                    if not isinstance(point, dict) or not isinstance(key, str):
+                        entries.append((raw, "torn", None))
+                        continue
+                    if point.get("engine") != ENGINE_VERSION:
+                        entries.append((raw, "stale", key))
+                        continue
+                    if _point_key(point) != key:
+                        entries.append((raw, "orphaned", key))
+                        continue
+                    if key in last_for_key:
+                        # The earlier append is superseded: last write wins.
+                        index = last_for_key[key]
+                        entries[index] = (entries[index][0], "duplicate", key)
+                    entries.append((raw, "live", key))
+                    last_for_key[key] = len(entries) - 1
+        return entries
+
+    def stats(self) -> StoreStats:
+        """Classify every line of the store file; see :class:`StoreStats`."""
+        counts = {"live": 0, "stale": 0, "orphaned": 0, "duplicate": 0, "torn": 0}
+        entries = self._classify()
+        for _, kind, _ in entries:
+            counts[kind] += 1
+        return StoreStats(
+            path=self.path,
+            file_bytes=os.path.getsize(self.path) if os.path.exists(self.path) else 0,
+            total_lines=len(entries),
+            live=counts["live"],
+            stale_engine=counts["stale"],
+            orphaned=counts["orphaned"],
+            duplicates=counts["duplicate"],
+            torn=counts["torn"],
+        )
+
+    def compact(self, keep_keys: Optional[Iterable[str]] = None) -> CompactionStats:
+        """Rewrite the JSONL with only the live records.
+
+        Drops stale-engine records, orphaned records (key inconsistent
+        with the stored point), superseded duplicates and torn lines.
+        With ``keep_keys`` (see :meth:`gc`), live records whose key is
+        not in the set are dropped too, as *unreferenced*.
+
+        Kept records keep their exact original bytes and relative order,
+        so every surviving lookup returns bit-identical results.  The
+        rewrite goes through a temp file and an atomic ``os.replace``;
+        a crash mid-compaction leaves the original file untouched.
+        """
+        referenced: Optional[Set[str]] = (
+            None if keep_keys is None else set(keep_keys)
+        )
+        bytes_before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        entries = self._classify()
+        kept: List[str] = []
+        dropped = {"stale": 0, "orphaned": 0, "duplicate": 0, "torn": 0,
+                   "unreferenced": 0}
+        for raw, kind, key in entries:
+            if kind != "live":
+                dropped[kind] += 1
+            elif referenced is not None and key not in referenced:
+                dropped["unreferenced"] += 1
+            else:
+                kept.append(raw)
+
+        if entries:
+            tmp_path = self.path + ".tmp"
+            with open(tmp_path, "w") as handle:
+                for raw in kept:
+                    handle.write(raw + "\n")
+            os.replace(tmp_path, self.path)
+        self.invalidate()
+
+        return CompactionStats(
+            kept=len(kept),
+            dropped_stale=dropped["stale"],
+            dropped_orphaned=dropped["orphaned"],
+            dropped_duplicates=dropped["duplicate"],
+            dropped_torn=dropped["torn"],
+            dropped_unreferenced=dropped["unreferenced"],
+            bytes_before=bytes_before,
+            bytes_after=os.path.getsize(self.path) if os.path.exists(self.path) else 0,
+        )
+
+    def gc(self, referenced: Iterable[ExperimentPoint]) -> CompactionStats:
+        """Compact, additionally dropping records no referenced point needs.
+
+        ``referenced`` names the experiments that must stay warm —
+        typically every point of every registered figure
+        (:func:`repro.reporting.referenced_points`).  Anything else
+        (abandoned one-off sweeps, retired grids) is garbage-collected.
+        """
+        return self.compact(keep_keys=(point.key() for point in referenced))
 
     def __contains__(self, point: ExperimentPoint) -> bool:
         return point.key() in self._load()

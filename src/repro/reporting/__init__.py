@@ -1,0 +1,52 @@
+"""Reporting subsystem: every paper figure straight from the result store.
+
+The registry (:mod:`repro.reporting.registry`) makes each figure/table of
+the paper a first-class object: its :class:`~repro.exp.ExperimentSpec`
+grids plus a renderer that reads only from sweep results and emits the
+canonical text artifact(s) under ``benchmarks/results/``.  The built-in
+figures live in :mod:`repro.reporting.figures` (imported here so the
+registry is always populated); third parties extend the registry with
+:func:`register_figure`.
+
+Run a figure programmatically::
+
+    from repro.reporting import run_figure, write_artifacts
+    output = run_figure("fig01", jobs=4)
+    write_artifacts(output, "benchmarks/results")
+
+or from the shell::
+
+    python -m repro report fig01 --jobs 4
+"""
+
+from repro.reporting.registry import (
+    Artifact,
+    Figure,
+    FigureContext,
+    FigureOutput,
+    figure_names,
+    get_figure,
+    iter_figures,
+    referenced_points,
+    register_figure,
+    run_figure,
+    write_artifacts,
+)
+
+# Importing the module registers every built-in figure as a side effect.
+from repro.reporting import figures  # noqa: E402  (must follow registry import)
+
+__all__ = [
+    "Artifact",
+    "Figure",
+    "FigureContext",
+    "FigureOutput",
+    "figure_names",
+    "figures",
+    "get_figure",
+    "iter_figures",
+    "referenced_points",
+    "register_figure",
+    "run_figure",
+    "write_artifacts",
+]

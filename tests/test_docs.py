@@ -1,0 +1,23 @@
+"""Docs stay consistent with the CLI (same check CI runs)."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_docs_reference_only_real_cli_commands():
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    # The check must actually be exercising fences, not matching nothing.
+    assert "README.md: 0 CLI" not in result.stdout
+
+
+def test_docs_exist():
+    for doc in ("README.md", "ARCHITECTURE.md", os.path.join("benchmarks", "README.md")):
+        assert os.path.exists(os.path.join(REPO_ROOT, doc)), doc

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Docs/CLI consistency check (run by CI and tests/test_docs.py).
+
+Every ``python -m repro ...`` invocation inside a code fence of the
+user-facing docs must name a subcommand the live parser actually has,
+use only flags that subcommand defines, and (for ``store``) a valid
+action.  This keeps README/ARCHITECTURE from drifting when the CLI
+evolves — the docs are checked against the parser itself, not a list
+that would itself go stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC_FILES = ("README.md", "ARCHITECTURE.md", os.path.join("benchmarks", "README.md"))
+
+
+def iter_fenced_commands(text: str):
+    """Yield (line_number, command) for `python -m repro` fence lines."""
+    in_fence = False
+    pending: str = ""
+    pending_line = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        if pending:
+            pending += " " + stripped.rstrip("\\").strip()
+            if not stripped.endswith("\\"):
+                yield pending_line, pending
+                pending = ""
+            continue
+        if "python -m repro" not in stripped:
+            continue
+        stripped = stripped.lstrip("$").strip()
+        if not stripped.startswith("python -m repro"):
+            continue  # prose mentioning the command mid-line
+        if stripped.endswith("\\"):
+            pending = stripped.rstrip("\\").strip()
+            pending_line = number
+        else:
+            yield number, stripped
+
+
+def _subparsers(parser: argparse.ArgumentParser):
+    for action in parser._actions:  # noqa: SLF001 (argparse has no public API)
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    return {}
+
+
+def check_command(command: str, parser: argparse.ArgumentParser):
+    """All problems with one documented command line (empty = clean)."""
+    # Strip inline fence comments ("# ...") before tokenising.
+    command = command.split("  #")[0].strip()
+    tokens = command.split()[3:]  # drop "python -m repro"
+    problems = []
+    subcommands = _subparsers(parser)
+    target = parser
+    if tokens and not tokens[0].startswith("-"):
+        name = tokens[0]
+        if name not in subcommands:
+            return [f"unknown subcommand {name!r} (have: {sorted(subcommands)})"]
+        target = subcommands[name]
+        tokens = tokens[1:]
+        if name == "store":
+            actions = next(
+                a.choices for a in target._actions if a.dest == "action"
+            )
+            if not tokens or tokens[0] not in actions:
+                problems.append(
+                    f"store action must be one of {sorted(actions)}, "
+                    f"got {tokens[:1]}"
+                )
+    known_flags = set(target._option_string_actions)
+    for token in tokens:
+        if token.startswith("--"):
+            flag = token.split("=")[0]
+            if flag not in known_flags:
+                problems.append(f"unknown flag {flag!r}")
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    failures = []
+    for doc in DOC_FILES:
+        path = os.path.join(REPO_ROOT, doc)
+        with open(path) as handle:
+            text = handle.read()
+        commands = list(iter_fenced_commands(text))
+        for number, command in commands:
+            for problem in check_command(command, parser):
+                failures.append(f"{doc}:{number}: {command!r}: {problem}")
+        print(f"{doc}: {len(commands)} CLI invocation(s) checked")
+    if failures:
+        print("\nDocs reference CLI commands the parser does not have:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("docs/CLI consistency: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
