@@ -16,10 +16,22 @@ also pulls in the missing block's buddy (the other half of an aligned
 "subblock" (maximum underprediction) and "footprint" (learned
 footprints), which is exactly what the comparison below shows.
 
+The module doubles as a *plugin* (see :mod:`repro.exp.plugins`): the
+spec below names this file in ``plugins``, so the process backend's
+workers import it on startup and the sweep parallelises.
+``exist_ok=True`` keeps the registration import-idempotent (the parent
+imports this file both as ``__main__`` and as the plugin).
+
 Usage::
 
     python examples/custom_design.py
+    python -m repro sweep --plugin examples/custom_design.py \
+        --designs subblock,pairfetch,footprint --capacities 64 \
+        --requests 60000 --jobs 2
+
 """
+
+import os
 
 from repro.analysis.report import format_table, percent
 from repro.caches.registry import register_design
@@ -74,6 +86,7 @@ def _pairfetch_overheads(capacity_bytes, page_size, associativity):
 
 @register_design(
     "pairfetch",
+    exist_ok=True,  # import-idempotent: required of plugin modules
     description="sub-blocked cache fetching aligned 128B pairs on a miss",
     page_organised=True,  # open-page policies + page interleaving (Sec 5.2)
     overheads=_pairfetch_overheads,
@@ -91,16 +104,17 @@ def build_pairfetch(config, stacked, offchip):
 
 def main() -> None:
     print("Sweeping the registered custom design against the built-ins ...")
-    # The custom name is now a valid axis value like any built-in.  (With
-    # a persistent store and jobs>1, worker processes would need to import
-    # this module too — in-process sweeps need nothing extra.)
+    # The custom name is now a valid axis value like any built-in, and
+    # naming this file as the spec's plugin lets worker processes
+    # re-register it — so the sweep fans out like any built-in grid.
     spec = ExperimentSpec(
         workloads="web_search",
         designs=("subblock", "pairfetch", "footprint"),
         capacities_mb=64,
         num_requests=60_000,
+        plugins=(os.path.abspath(__file__),),
     )
-    results = SweepRunner(store=None).run(spec)
+    results = SweepRunner(store=None, jobs=2).run(spec)
     rows = []
     for point in results:
         result = results[point]

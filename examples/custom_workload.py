@@ -1,76 +1,93 @@
 #!/usr/bin/env python
-"""Custom workload: define your own access-function mix and evaluate it.
+"""Custom workload: register your own profile and sweep it like a built-in.
 
-Shows the extension point a downstream user would reach for first:
-building a :class:`WorkloadProfile` from scratch — here a synthetic
+Shows the extension point a downstream user would reach for first: a
+:class:`WorkloadProfile` built from scratch — here a synthetic
 "in-memory analytics" service mixing columnar scans with point lookups —
-and running every cache design against it.
+registered with ``@register_profile`` so ``"analytics"`` is a valid
+workload name everywhere (``SimulationConfig``, ``ExperimentSpec``,
+the CLI, the result store), with no out-of-band arguments.
 
-Usage::
+Because this module registers itself as a *plugin* on the spec
+(``plugins=(__file__,)``), the sweep below runs with two worker
+processes: each worker loads this file on startup, re-creating the
+profile registration before it simulates.  The same file works from the
+command line::
 
     python examples/custom_workload.py
+    python -m repro sweep --plugin examples/custom_workload.py \
+        --workloads analytics --designs footprint,page --capacities 256 \
+        --requests 60000 --jobs 2
 """
 
+import os
+
 from repro.analysis.report import format_table, percent
-from repro.sim.config import CacheConfig, SimulationConfig
-from repro.sim.simulator import Simulator
-from repro.sim.system import build_system
-from repro.workloads.profiles import AccessFunctionSpec, WorkloadProfile
+from repro.exp import ExperimentSpec, SweepRunner
+from repro.workloads.profiles import (
+    AccessFunctionSpec,
+    WorkloadProfile,
+    register_profile,
+)
 
 MB = 1024 * 1024
 
-ANALYTICS = WorkloadProfile(
-    name="analytics",
-    functions=(
-        # Columnar scan: reads whole pages of a column, streaming.
-        AccessFunctionSpec(
-            kind="full", weight=0.5, region_fraction=0.8,
-            zipf_alpha=0.0, write_fraction=0.02,
+# exist_ok=True makes the registration import-idempotent: the parent
+# process may import this file twice (once as __main__, once as the
+# plugin the spec names), and fork-based workers inherit it pre-loaded.
+ANALYTICS = register_profile(
+    WorkloadProfile(
+        name="analytics",
+        functions=(
+            # Columnar scan: reads whole pages of a column, streaming.
+            AccessFunctionSpec(
+                kind="full", weight=0.5, region_fraction=0.8,
+                zipf_alpha=0.0, write_fraction=0.02,
+            ),
+            # Dimension-table lookups: hot, small, reused.
+            AccessFunctionSpec(
+                kind="sequential", weight=0.25, min_blocks=4, max_blocks=8,
+                region_fraction=0.02, zipf_alpha=1.0, write_fraction=0.05,
+            ),
+            # Hash-join probes: singleton touches, no reuse.
+            AccessFunctionSpec(
+                kind="singleton", weight=0.25, region_fraction=1.0,
+                zipf_alpha=0.05, write_fraction=0.05,
+            ),
         ),
-        # Dimension-table lookups: hot, small, reused.
-        AccessFunctionSpec(
-            kind="sequential", weight=0.25, min_blocks=4, max_blocks=8,
-            region_fraction=0.02, zipf_alpha=1.0, write_fraction=0.05,
-        ),
-        # Hash-join probes: singleton touches, no reuse.
-        AccessFunctionSpec(
-            kind="singleton", weight=0.25, region_fraction=1.0,
-            zipf_alpha=0.05, write_fraction=0.05,
-        ),
+        dataset_bytes=64 * MB,
+        instructions_per_access=150,
     ),
-    dataset_bytes=64 * MB,
-    instructions_per_access=150,
+    exist_ok=True,
 )
 
 
 def main() -> None:
     print("Evaluating cache designs on a custom analytics workload ...")
-    rows = []
-    baseline_ipc = None
-    for design in ("baseline", "block", "page", "footprint", "ideal"):
-        config = SimulationConfig(
-            workload="analytics",
-            cache=CacheConfig(design=design, capacity_bytes=MB, tag_latency=9),
-            num_requests=120_000,
+    spec = ExperimentSpec(
+        workloads="analytics",
+        designs=("baseline", "block", "page", "footprint", "ideal"),
+        capacities_mb=256,          # 1MB simulated at the default scale
+        num_requests=60_000,
+        plugins=(os.path.abspath(__file__),),
+    )
+    sweep = SweepRunner(store=None, jobs=2).run(spec)
+    baseline_ipc = sweep.get(design="baseline").aggregate_ipc
+    rows = [
+        (
+            point.design,
+            percent(result.miss_ratio),
+            f"{result.offchip_traffic_normalized:.2f}x",
+            percent(result.aggregate_ipc / baseline_ipc - 1.0),
         )
-        system = build_system(config, profile=ANALYTICS)
-        result = Simulator(config, system=system).run()
-        if design == "baseline":
-            baseline_ipc = result.aggregate_ipc
-        rows.append(
-            (
-                design,
-                percent(result.miss_ratio),
-                f"{result.offchip_traffic_normalized:.2f}x",
-                percent(result.aggregate_ipc / baseline_ipc - 1.0),
-            )
-        )
+        for point, result in sweep.items()
+    ]
     print()
     print(
         format_table(
             ("Design", "Miss ratio", "Off-chip traffic", "Perf vs baseline"),
             rows,
-            title="Custom analytics workload (1MB simulated cache)",
+            title="Custom analytics workload (256MB nominal, 2 workers)",
         )
     )
     print()

@@ -18,6 +18,18 @@ loaded from a serialised :class:`~repro.exp.ExperimentSpec`::
 
     python -m repro sweep --spec examples/specs/quick_sweep.json
 
+Execution is pluggable: ``--backend {serial,process}`` picks the
+execution backend, ``--shard I/N`` runs one deterministic shard of the
+grid (typically into its own ``--store``, recombined later with
+``store merge``), and ``--plugin MOD`` loads modules registering custom
+designs/workload profiles — inside worker processes too::
+
+    python -m repro sweep --spec spec.json --shard 1/2 --store shard1
+    python -m repro sweep --spec spec.json --shard 2/2 --store shard2
+    python -m repro store merge shard1 shard2 --into merged
+    python -m repro sweep --plugin examples/custom_design.py \
+        --designs pairfetch --capacities 64 --jobs 2
+
 Regenerate paper figures straight from the result store (missing points
 are simulated first, everything else is served from the store)::
 
@@ -40,7 +52,15 @@ import time
 
 from repro.analysis.report import format_table, percent
 from repro.caches.registry import design_names
-from repro.exp import ExperimentSpec, ResultStore, SweepRunner
+from repro.exp import (
+    BACKEND_NAMES,
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    load_plugins,
+    make_backend,
+    parse_shard,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
@@ -54,6 +74,13 @@ def _csv(kind):
             raise argparse.ArgumentTypeError(str(error))
 
     return parse
+
+
+def _shard(text: str):
+    try:
+        return parse_shard(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1; 0 = one per CPU)",
     )
     sweep.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend (default: serial for --jobs 1, "
+        "process otherwise)",
+    )
+    sweep.add_argument(
+        "--shard", type=_shard, default=None, metavar="I/N",
+        help="run only shard I of N (deterministic grid partition; "
+        "combine shard stores with 'repro store merge')",
+    )
+    sweep.add_argument(
+        "--plugin", action="append", default=None, metavar="MOD",
+        help="module (dotted name or .py path) registering custom "
+        "designs/workload profiles; loaded in workers too (repeatable)",
+    )
+    sweep.add_argument(
         "--no-cache", action="store_true",
         help="ignore stored results (fresh results are still recorded)",
     )
@@ -166,6 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for missing points (default 1; 0 = one per CPU)",
     )
     report.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend for missing points (default: serial for "
+        "--jobs 1, process otherwise)",
+    )
+    report.add_argument(
+        "--plugin", action="append", default=None, metavar="MOD",
+        help="module registering custom designs/profiles/figures, loaded "
+        "before rendering (repeatable)",
+    )
+    report.add_argument(
         "--no-cache", action="store_true",
         help="ignore stored results (fresh results are still recorded)",
     )
@@ -195,12 +247,23 @@ def build_parser() -> argparse.ArgumentParser:
         "bumps, re-runs and crashes leave dead lines behind.  'stats' "
         "classifies every line; 'compact' rewrites the file keeping only "
         "live records (byte-for-byte); 'gc' additionally drops records "
-        "that no registered figure references.",
+        "that no registered figure references; 'merge' folds source "
+        "stores (e.g. per-shard stores) into a destination with "
+        "conflict detection.",
     )
     store.add_argument(
-        "action", choices=("stats", "compact", "gc"),
+        "action", choices=("stats", "compact", "gc", "merge"),
         help="stats: classify lines; compact: drop stale/orphaned/duplicate/"
-        "torn records; gc: compact plus drop figure-unreferenced records",
+        "torn records; gc: compact plus drop figure-unreferenced records; "
+        "merge: fold SRC stores into --into",
+    )
+    store.add_argument(
+        "sources", nargs="*", metavar="SRC",
+        help="source store directories (merge only)",
+    )
+    store.add_argument(
+        "--into", default=None, metavar="DIR",
+        help="destination store directory (merge only)",
     )
     store.add_argument(
         "--store", default=None, metavar="DIR",
@@ -294,15 +357,15 @@ def _sweep_spec(args) -> ExperimentSpec:
 
 
 def _run_sweep(args) -> int:
+    plugins = tuple(args.plugin or ())
     try:
+        # Plugins first: the axis flags may name the designs/profiles
+        # they register.  (A spec file's own `plugins` load with it.)
+        load_plugins(plugins)
         spec = _sweep_spec(args)
-        for workload in spec.workloads:
-            if workload not in WORKLOAD_NAMES:
-                raise ValueError(
-                    f"unknown workload {workload!r}; one of {WORKLOAD_NAMES}"
-                )
         for point in spec.points():
             point.config()  # surface capacity/page-size/request errors now
+        backend = make_backend(args.backend, jobs=args.jobs, shard=args.shard)
     except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -316,7 +379,12 @@ def _run_sweep(args) -> int:
         )
 
     runner = SweepRunner(
-        store=store, jobs=args.jobs, use_cache=not args.no_cache, progress=progress
+        store=store,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        progress=progress,
+        backend=backend,
+        plugins=plugins,
     )
     started = time.perf_counter()
     try:
@@ -347,9 +415,12 @@ def _run_sweep(args) -> int:
             title=f"Sweep over {len(sweep)} points",
         )
     )
+    shard = (
+        f"shard {args.shard[0]}/{args.shard[1]}: " if args.shard is not None else ""
+    )
     summary = (
-        f"{len(sweep)} points in {elapsed:.1f}s: {sweep.hits} cache hits, "
-        f"{sweep.misses} simulated (store: {store.path})"
+        f"{shard}{len(sweep)} points in {elapsed:.1f}s: {sweep.hits} cache "
+        f"hits, {sweep.misses} simulated (store: {store.path})"
     )
     if sweep.misses == 0:
         summary += " — all points served from cache"
@@ -359,7 +430,16 @@ def _run_sweep(args) -> int:
 
 def _run_report(args) -> int:
     # Imported lazily: the registry builds every figure's spec on import.
+    # Plugins load first so they can register designs, profiles — and
+    # figures, which then render like any built-in deliverable.
     import os
+
+    try:
+        load_plugins(tuple(args.plugin or ()))
+        backend = make_backend(args.backend, jobs=args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     from repro.exp.store import default_results_dir
     from repro.reporting import figure_names, get_figure, run_figure, write_artifacts
@@ -403,6 +483,8 @@ def _run_report(args) -> int:
                 jobs=args.jobs,
                 use_cache=not args.no_cache,
                 progress=None if args.quiet else progress,
+                backend=backend,
+                plugins=tuple(args.plugin or ()),
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -437,6 +519,15 @@ def _run_report(args) -> int:
 
 
 def _run_store(args) -> int:
+    if args.action == "merge":
+        return _run_store_merge(args)
+    if args.sources or args.into:
+        print(
+            f"error: SRC arguments and --into only apply to 'store merge', "
+            f"not 'store {args.action}'",
+            file=sys.stderr,
+        )
+        return 2
     store = ResultStore(args.store)
     if args.action == "stats":
         stats = store.stats()
@@ -467,6 +558,30 @@ def _run_store(args) -> int:
         f"orphaned, {result.dropped_duplicates} duplicate, "
         f"{result.dropped_torn} torn, {result.dropped_unreferenced} "
         f"unreferenced); {result.bytes_before} -> {result.bytes_after} bytes"
+    )
+    return 0
+
+
+def _run_store_merge(args) -> int:
+    if not args.sources:
+        print("error: store merge needs at least one SRC directory",
+              file=sys.stderr)
+        return 2
+    if args.into is None:
+        print("error: store merge needs --into DIR", file=sys.stderr)
+        return 2
+    if args.store is not None:
+        print("error: store merge takes --into, not --store", file=sys.stderr)
+        return 2
+    destination = ResultStore(args.into)
+    try:
+        stats = destination.merge(ResultStore(source) for source in args.sources)
+    except ValueError as error:  # includes StoreMergeConflict
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"merge: {stats.merged} record(s) from {len(stats.sources)} store(s) "
+        f"into {stats.destination} ({stats.duplicates} duplicate(s) skipped)"
     )
     return 0
 

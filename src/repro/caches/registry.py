@@ -149,20 +149,37 @@ _REGISTRY: Dict[str, DesignSpec] = {}
 _BUILTIN: set = set()
 
 
-def register(spec: DesignSpec) -> DesignSpec:
+def register(spec: DesignSpec, exist_ok: bool = False) -> DesignSpec:
     """Register a fully-formed :class:`DesignSpec`.
 
     Duplicate names are rejected: a design is a global identity (config
     validation, store hashes and CLI flags all name it), so silently
-    replacing one would corrupt every consumer.
+    replacing one would corrupt every consumer.  ``exist_ok=True``
+    tolerates re-registering the *same* design — equal declarative
+    traits and description; builder code cannot be compared — keeping
+    the existing registration untouched.  That is the contract plugin
+    modules (see :mod:`repro.exp.plugins`) should opt into, so being
+    imported again (parent-side validation plus worker bootstrap, or a
+    script loading itself as its own plugin) is harmless; a *different*
+    design claiming a taken name is always rejected.
     """
-    if spec.name in _REGISTRY:
-        raise ValueError(f"design {spec.name!r} is already registered")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        same = (
+            existing.traits() == spec.traits()
+            and existing.description == spec.description
+        )
+        if exist_ok and same:
+            return existing
+        differs = "" if same else " with different traits"
+        raise ValueError(f"design {spec.name!r} is already registered{differs}")
     _REGISTRY[spec.name] = spec
     return spec
 
 
-def register_design(name: str, **traits) -> Callable[[Builder], Builder]:
+def register_design(
+    name: str, exist_ok: bool = False, **traits
+) -> Callable[[Builder], Builder]:
     """Decorator form of :func:`register`: wrap a builder function.
 
     >>> @register_design("noop2", needs_stacked=False)   # doctest: +SKIP
@@ -171,7 +188,7 @@ def register_design(name: str, **traits) -> Callable[[Builder], Builder]:
     """
 
     def decorate(builder: Builder) -> Builder:
-        register(DesignSpec(name=name, builder=builder, **traits))
+        register(DesignSpec(name=name, builder=builder, **traits), exist_ok=exist_ok)
         return builder
 
     return decorate

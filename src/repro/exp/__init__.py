@@ -1,14 +1,21 @@
-"""Experiment engine: declarative sweeps, parallel execution, result store.
+"""Experiment engine: declarative sweeps, pluggable execution, result store.
 
-The engine turns the paper's figure grids into three composable pieces:
+The engine turns the paper's figure grids into composable pieces:
 
 * :class:`~repro.exp.spec.ExperimentSpec` — a declarative, hashable grid
   over workload / design / capacity / seed / page size and cache /
-  system / timing variants;
-* :class:`~repro.exp.runner.SweepRunner` — fans grid points out over a
-  process pool with deterministic per-point seeds;
+  system / timing variants, plus the plugin modules that register any
+  custom designs or workload profiles it references;
+* :class:`~repro.exp.runner.SweepRunner` — orchestrates a sweep: store
+  lookups, key dedup, progress, persistence;
+* :mod:`repro.exp.backends` — how uncached points execute:
+  :class:`~repro.exp.backends.SerialBackend` (in-process),
+  :class:`~repro.exp.backends.ProcessBackend` (process pool) or
+  :class:`~repro.exp.backends.ShardBackend` (a deterministic ``i/n``
+  partition of the grid);
 * :class:`~repro.exp.store.ResultStore` — a JSONL store keyed by a
-  stable config hash, so results persist across processes and sessions.
+  stable config hash, so results persist across processes and sessions;
+  per-shard stores recombine through :meth:`~repro.exp.store.ResultStore.merge`.
 
 >>> from repro.exp import ExperimentSpec, SweepRunner
 >>> spec = ExperimentSpec(workloads="web_search", designs=("page",),
@@ -18,6 +25,16 @@ The engine turns the paper's figure grids into three composable pieces:
 'page'
 """
 
+from repro.exp.backends import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ShardBackend,
+    SweepBackend,
+    make_backend,
+    parse_shard,
+)
+from repro.exp.plugins import load_plugin, load_plugins, merge_plugins
 from repro.exp.runner import (
     SweepProgress,
     SweepResult,
@@ -34,24 +51,38 @@ from repro.exp.spec import (
 )
 from repro.exp.store import (
     CompactionStats,
+    MergeStats,
     ResultStore,
+    StoreMergeConflict,
     StoreStats,
     default_store_dir,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "CompactionStats",
     "ENGINE_VERSION",
     "ExperimentPoint",
     "ExperimentSpec",
+    "MergeStats",
+    "ProcessBackend",
     "ResultStore",
+    "SerialBackend",
+    "ShardBackend",
+    "StoreMergeConflict",
     "StoreStats",
+    "SweepBackend",
     "SweepProgress",
     "SweepResult",
     "SweepRunner",
     "default_requests",
     "default_store_dir",
     "freeze_kwargs",
+    "load_plugin",
+    "load_plugins",
+    "make_backend",
+    "merge_plugins",
+    "parse_shard",
     "run_point",
     "split_timing_kwargs",
 ]

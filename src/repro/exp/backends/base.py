@@ -1,0 +1,73 @@
+"""The execution-backend protocol behind every sweep.
+
+A :class:`SweepBackend` answers one question for the
+:class:`~repro.exp.runner.SweepRunner`: *how do the points that the
+store could not serve actually get simulated?*  The runner keeps
+everything else — store lookups, key dedup, progress, persistence — so
+backends stay small and every backend inherits the engine's guarantees
+(determinism, single-writer store, incremental re-runs) for free.
+
+The protocol has two hooks:
+
+* :meth:`SweepBackend.select` — which of a spec's points this
+  invocation is responsible for.  The identity function for ordinary
+  backends; :class:`~repro.exp.backends.shard.ShardBackend` overrides
+  it to claim a deterministic ``i/n`` partition.  It runs on the *full*
+  grid, before any store lookup, so shard membership never depends on
+  store state.
+* :meth:`SweepBackend.execute` — simulate the pending points, yielding
+  ``(point, result)`` pairs in completion order.  Backends must
+  bootstrap the given plugin modules (:mod:`repro.exp.plugins`) in
+  every execution context they create — worker processes included — so
+  plugin-registered designs and workload profiles resolve wherever the
+  simulation runs.
+
+This is the architectural seam for future remote/distributed execution:
+a new backend only has to ship points out, bootstrap plugins on the
+other side, and yield results back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence, Tuple
+
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+
+class SweepBackend(ABC):
+    """How a sweep's uncached points are executed.
+
+    Implementations: :class:`~repro.exp.backends.serial.SerialBackend`
+    (in-process), :class:`~repro.exp.backends.process.ProcessBackend`
+    (``ProcessPoolExecutor`` fan-out) and
+    :class:`~repro.exp.backends.shard.ShardBackend` (a deterministic
+    ``i/n`` partition delegating to an inner backend).
+    """
+
+    name: str = "backend"
+
+    def select(
+        self, points: Sequence[ExperimentPoint]
+    ) -> Tuple[ExperimentPoint, ...]:
+        """The subset of a grid this invocation runs (default: all).
+
+        Called on the full, deduplicated grid in deterministic spec
+        order, before store lookups.
+        """
+        return tuple(points)
+
+    @abstractmethod
+    def execute(
+        self,
+        points: Sequence[ExperimentPoint],
+        plugins: Sequence[str] = (),
+    ) -> Iterator[Tuple[ExperimentPoint, SimulationResult]]:
+        """Simulate ``points``, yielding ``(point, result)`` as completed.
+
+        ``plugins`` are the modules to bootstrap (in order) in every
+        process that simulates — see :mod:`repro.exp.plugins`.  Results
+        must be yielded exactly once per point; order is the backend's
+        choice (the runner persists each result as it arrives).
+        """

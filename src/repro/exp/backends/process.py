@@ -1,0 +1,80 @@
+"""Process-pool execution: the engine's default parallel backend."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterator, Sequence, Tuple
+
+from repro.exp.backends.base import SweepBackend
+from repro.exp.plugins import load_plugins
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+
+def _bootstrap(plugins: Tuple[str, ...]) -> None:
+    """Pool initializer: load plugins inside each worker process.
+
+    Under ``fork`` the worker inherits the parent's modules and this is
+    a cached no-op; under ``spawn`` it is what makes plugin-registered
+    designs and workload profiles exist at all on the worker side.
+    """
+    load_plugins(plugins)
+
+
+def _worker(point: ExperimentPoint) -> Tuple[ExperimentPoint, dict]:
+    """Subprocess entry: results travel back as plain dicts."""
+    from repro.exp.runner import run_point
+
+    return point, run_point(point).to_dict()
+
+
+class ProcessBackend(SweepBackend):
+    """Fan points out over a ``ProcessPoolExecutor``.
+
+    ``jobs`` caps the pool size (0 = one worker per CPU); the effective
+    pool never exceeds the number of points, and a single pending point
+    runs in-process — no pool, no pickling — exactly like
+    :class:`~repro.exp.backends.serial.SerialBackend`.  Results are
+    yielded in completion order so the runner can persist each one the
+    moment its worker finishes.
+
+    ``mp_context`` selects the multiprocessing start method (None = the
+    platform default).  Plugin bootstrapping is start-method agnostic —
+    the pool initializer loads plugins either way — and the parity
+    tests pin ``spawn`` to prove workers rebuild the registries from
+    nothing rather than inheriting them from a fork.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 0, mp_context=None) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.mp_context = mp_context
+
+    def execute(
+        self,
+        points: Sequence[ExperimentPoint],
+        plugins: Sequence[str] = (),
+    ) -> Iterator[Tuple[ExperimentPoint, SimulationResult]]:
+        load_plugins(plugins)  # the parent resolves configs/keys too
+        points = tuple(points)
+        jobs = min(self.jobs, len(points))
+        if jobs <= 1:
+            from repro.exp import runner
+
+            for point in points:
+                yield point, runner.run_point(point)
+            return
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=self.mp_context,
+            initializer=_bootstrap,
+            initargs=(tuple(plugins),),
+        ) as pool:
+            futures = [pool.submit(_worker, point) for point in points]
+            for future in as_completed(futures):
+                point, data = future.result()
+                yield point, SimulationResult.from_dict(data)

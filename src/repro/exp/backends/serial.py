@@ -1,0 +1,35 @@
+"""In-process, one-at-a-time execution."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.exp.backends.base import SweepBackend
+from repro.exp.plugins import load_plugins
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+
+class SerialBackend(SweepBackend):
+    """Simulate every point in the calling process, in order.
+
+    The reference backend: no pickling, no subprocesses, plugins load
+    once into the current interpreter.  Every other backend is required
+    to reproduce its results bit-for-bit (each point carries its own
+    deterministic seed, so the schedule cannot change any result).
+    """
+
+    name = "serial"
+
+    def execute(
+        self,
+        points: Sequence[ExperimentPoint],
+        plugins: Sequence[str] = (),
+    ) -> Iterator[Tuple[ExperimentPoint, SimulationResult]]:
+        load_plugins(plugins)
+        # Late import (and attribute-style call) so the runner module's
+        # ``run_point`` stays the single monkeypatchable simulation entry.
+        from repro.exp import runner
+
+        for point in points:
+            yield point, runner.run_point(point)

@@ -1,0 +1,80 @@
+"""Sharded execution: one deterministic ``i/n`` partition per invocation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.exp.backends.base import SweepBackend
+from repro.exp.backends.serial import SerialBackend
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``I/N`` shard designator (1-based) into ``(index, count)``."""
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must be I/N (e.g. 1/2), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must satisfy 1 <= I <= N, got {text!r}")
+    return index, count
+
+
+class ShardBackend(SweepBackend):
+    """Run one deterministic ``index/count`` slice of a grid.
+
+    :meth:`select` partitions the spec's full, deduplicated point list
+    round-robin by grid position: shard ``i`` of ``n`` takes points
+    ``i-1, i-1+n, i-1+2n, ...``.  The partition is a pure function of
+    the spec (not of store contents, process count or platform), so
+
+    * the ``n`` shards are disjoint and cover the grid exactly, and
+    * re-invoking a shard is incremental like any other sweep.
+
+    Round-robin also balances the axes: consecutive grid points differ
+    in the fastest-varying axis, so expensive capacities/workloads
+    spread across shards instead of clustering in one.
+
+    Execution of the selected slice is delegated to ``inner`` (default
+    :class:`~repro.exp.backends.serial.SerialBackend`), so sharding
+    composes with process fan-out: ``ShardBackend(1, 4,
+    inner=ProcessBackend(8))`` is shard 1 of 4, eight workers wide.
+
+    Each shard invocation typically writes its own store directory;
+    :meth:`repro.exp.store.ResultStore.merge` (CLI: ``python -m repro
+    store merge``) combines shard stores with conflict detection.
+    """
+
+    name = "shard"
+
+    def __init__(
+        self, index: int, count: int, inner: Optional[SweepBackend] = None
+    ) -> None:
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if not 1 <= index <= count:
+            raise ValueError(
+                f"shard index must satisfy 1 <= index <= count, "
+                f"got {index}/{count}"
+            )
+        self.index = index
+        self.count = count
+        self.inner = inner if inner is not None else SerialBackend()
+
+    def select(
+        self, points: Sequence[ExperimentPoint]
+    ) -> Tuple[ExperimentPoint, ...]:
+        return tuple(self.inner.select(points))[self.index - 1 :: self.count]
+
+    def execute(
+        self,
+        points: Sequence[ExperimentPoint],
+        plugins: Sequence[str] = (),
+    ) -> Iterator[Tuple[ExperimentPoint, SimulationResult]]:
+        return self.inner.execute(points, plugins)

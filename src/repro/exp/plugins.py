@@ -1,0 +1,92 @@
+"""Plugin loading: import user modules that extend the registries.
+
+A *plugin* is an importable Python module (or a ``.py`` file path) whose
+import side effect registers extensions — cache designs via
+:func:`repro.caches.registry.register_design`, workload profiles via
+:func:`repro.workloads.profiles.register_profile`, DRAM presets, even
+report figures.  Plugins are *environment*, not configuration: they
+contribute nothing to a point's store key (what they register does,
+via design traits and profile payloads), they just have to be loaded
+before a spec referencing their names is resolved.
+
+Every execution backend bootstraps the same plugin list inside its
+worker processes (:meth:`repro.exp.backends.SweepBackend.execute`), so
+a sweep over plugin-registered designs and profiles parallelises like
+any built-in one.  Because a plugin may be imported more than once per
+process (parent-side validation plus a worker bootstrap under ``fork``,
+or a script passing itself as its own plugin), plugin modules must be
+import-idempotent: register with ``exist_ok=True``, or guard on the
+registry (see ``examples/custom_design.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import importlib.util
+import os
+import re
+import sys
+from types import ModuleType
+from typing import Iterable, List, Tuple
+
+
+def _file_module_name(path: str) -> str:
+    """Stable ``sys.modules`` name for a file plugin.
+
+    Derived from the absolute path so repeated loads of one file —
+    across ``load_plugins`` calls, or parent plus forked worker — hit
+    the module cache instead of re-executing the file.
+    """
+    stem = re.sub(r"\W", "_", os.path.splitext(os.path.basename(path))[0])
+    digest = hashlib.sha256(os.path.abspath(path).encode()).hexdigest()[:8]
+    return f"repro_plugin_{stem}_{digest}"
+
+
+def load_plugin(name: str) -> ModuleType:
+    """Import one plugin: a dotted module name, or a ``.py`` file path.
+
+    File paths load under a path-derived ``sys.modules`` name, so the
+    same file is executed at most once per process; dotted names go
+    through :func:`importlib.import_module` and share its cache.
+    Unimportable plugins raise ``ValueError`` so the CLI reports them
+    like any other bad input.
+    """
+    is_path = name.endswith(".py") or os.sep in name
+    try:
+        if not is_path:
+            return importlib.import_module(name)
+        path = os.path.abspath(name)
+        module_name = _file_module_name(path)
+        if module_name in sys.modules:
+            return sys.modules[module_name]
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"not a loadable Python file: {path}")
+        module = importlib.util.module_from_spec(spec)
+        # Registered before execution so a plugin importing itself
+        # (directly or via a circular helper) terminates.
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except BaseException:
+            sys.modules.pop(module_name, None)
+            raise
+        return module
+    except (ImportError, OSError, SyntaxError) as error:
+        raise ValueError(f"cannot load plugin {name!r}: {error}") from None
+
+
+def load_plugins(modules: Iterable[str]) -> List[ModuleType]:
+    """Import every plugin in ``modules``, in order."""
+    return [load_plugin(name) for name in modules]
+
+
+def merge_plugins(*groups: Iterable[str]) -> Tuple[str, ...]:
+    """Concatenate plugin lists, deduplicated, first occurrence wins."""
+    seen = []
+    for group in groups:
+        for name in group:
+            if name not in seen:
+                seen.append(name)
+    return tuple(seen)

@@ -1,17 +1,17 @@
-"""Sweep execution: store lookups, process fan-out, progress reporting.
+"""Sweep orchestration: store lookups, backend dispatch, progress.
 
 The runner resolves a spec into points, serves what it can from the
-:class:`~repro.exp.store.ResultStore`, and fans the remaining points out
-over a ``ProcessPoolExecutor``.  Every point is an independent simulation
-with its own deterministic seed (the seed is part of the point), so the
-parallel schedule cannot change any result: serial and ``jobs=N`` runs
-are bit-identical.  Only the parent process writes to the store.
+:class:`~repro.exp.store.ResultStore`, and hands the remaining points to
+an execution backend (:mod:`repro.exp.backends`) — in-process, a
+process pool, or one shard of a partitioned grid.  Every point is an
+independent simulation with its own deterministic seed (the seed is part
+of the point), so the execution schedule cannot change any result:
+serial, ``jobs=N`` and sharded-then-merged runs are bit-identical.  Only
+the parent process writes to the store, whatever the backend.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -21,10 +21,13 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
 
+from repro.exp.backends import SweepBackend, make_backend
+from repro.exp.plugins import load_plugins, merge_plugins
 from repro.exp.spec import ExperimentPoint, ExperimentSpec
 from repro.exp.store import ResultStore
 from repro.sim.simulator import SimulationResult, Simulator
@@ -33,13 +36,12 @@ _POINT_FIELDS = frozenset(ExperimentPoint.__dataclass_fields__)
 
 
 def run_point(point: ExperimentPoint) -> SimulationResult:
-    """Simulate one point, ignoring any store."""
+    """Simulate one point, ignoring any store.
+
+    The single simulation entry every backend funnels through (looked
+    up late, as ``runner.run_point``, so tests can monkeypatch it).
+    """
     return Simulator(point.config()).run()
-
-
-def _worker(point: ExperimentPoint) -> Tuple[ExperimentPoint, dict]:
-    """Subprocess entry: results travel back as plain dicts."""
-    return point, run_point(point).to_dict()
 
 
 @dataclass(frozen=True)
@@ -130,7 +132,7 @@ class SweepResult(Mapping):
 
 
 class SweepRunner:
-    """Run sweeps against a store, optionally over multiple processes.
+    """Run sweeps against a store through a pluggable execution backend.
 
     Parameters
     ----------
@@ -139,21 +141,30 @@ class SweepRunner:
         None disables persistence entirely.
     jobs:
         Worker processes: 1 (default) runs in-process, 0 means one per
-        CPU, N > 1 uses a pool of N.
+        CPU, N > 1 uses a pool of N.  Shorthand for the default
+        backends; ignored when ``backend`` is given explicitly.
     use_cache:
         When False, stored results are ignored (but fresh results are
         still written back) — the CLI's ``--no-cache``.
     progress:
         Optional callable receiving a :class:`SweepProgress` per point.
+    backend:
+        Any :class:`~repro.exp.backends.SweepBackend`.  Default: the
+        backend ``jobs`` implies (serial for 1, a process pool
+        otherwise).
+    plugins:
+        Plugin modules (:mod:`repro.exp.plugins`) to bootstrap in every
+        execution context, merged with the spec's own ``plugins``.
 
     Guarantees:
 
     * **Determinism** — every point is an independent simulation with
       its own seed (the seed is part of the point), so serial,
-      ``jobs=N`` and store-served runs return bit-identical results.
+      ``jobs=N``, sharded and store-served runs return bit-identical
+      results.
     * **Single writer** — only the parent process appends to the store;
-      workers return results over the pool.  Each result is persisted
-      the moment its worker finishes, so an interrupted sweep keeps
+      backends yield results back as they complete, and each is
+      persisted the moment it arrives, so an interrupted sweep keeps
       everything already simulated.
     * **Key dedup** — points that resolve to one config (two spellings
       of the same experiment) simulate once and share the result.
@@ -165,13 +176,17 @@ class SweepRunner:
         jobs: int = 1,
         use_cache: bool = True,
         progress: Optional[Callable[[SweepProgress], None]] = None,
+        backend: Optional[SweepBackend] = None,
+        plugins: Sequence[str] = (),
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be non-negative")
         self.store = store
-        self.jobs = jobs or os.cpu_count() or 1
+        self.jobs = jobs
+        self.backend = backend if backend is not None else make_backend(jobs=jobs)
         self.use_cache = use_cache
         self.progress = progress
+        self.plugins = tuple(plugins)
 
     def run_one(self, point: ExperimentPoint) -> SimulationResult:
         """One point through the store: lookup, else simulate and record."""
@@ -185,10 +200,32 @@ class SweepRunner:
         return result
 
     def run(
-        self, spec: Union[ExperimentSpec, Iterable[ExperimentPoint]]
+        self,
+        spec: Union[ExperimentSpec, Iterable[ExperimentPoint]],
+        plugins: Sequence[str] = (),
     ) -> SweepResult:
-        """Execute every point of ``spec``; see :class:`SweepResult`."""
-        points = spec.points() if isinstance(spec, ExperimentSpec) else tuple(spec)
+        """Execute ``spec``'s points through the backend.
+
+        The backend's :meth:`~repro.exp.backends.SweepBackend.select`
+        runs on the full grid first (a shard backend claims its
+        partition there), then store lookups, then execution of the
+        remainder.  The returned :class:`SweepResult` covers exactly the
+        selected points.
+
+        Plugins bootstrapped for this run are the union of the runner's
+        own, the per-call ``plugins`` (how :func:`~repro.reporting.run_figure`
+        forwards its figure specs' plugins alongside a plain point
+        iterable), and — when ``spec`` is an
+        :class:`~repro.exp.spec.ExperimentSpec` — the spec's.
+        """
+        if isinstance(spec, ExperimentSpec):
+            points = spec.points()
+            plugins = merge_plugins(self.plugins, plugins, spec.plugins)
+        else:
+            points = tuple(spec)
+            plugins = merge_plugins(self.plugins, plugins)
+        load_plugins(plugins)
+        points = tuple(self.backend.select(points))
         results: Dict[ExperimentPoint, SimulationResult] = {}
         cached: List[ExperimentPoint] = []
         pending: List[ExperimentPoint] = []
@@ -220,26 +257,14 @@ class SweepRunner:
             report(point, True)
 
         if pending:
-            jobs = min(self.jobs, len(pending))
-
-            def record(point: ExperimentPoint, result: SimulationResult) -> None:
+            # Completion order, not submission order: each result is
+            # persisted the moment the backend yields it, so an
+            # interrupted sweep keeps everything already simulated.
+            for point, result in self.backend.execute(pending, plugins=plugins):
                 results[point] = result
                 if self.store is not None:
                     self.store.put(point, result)
                 report(point, False)
-
-            if jobs > 1:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    # Completion order, not submission order: each result
-                    # is persisted the moment its worker finishes, so an
-                    # interrupted sweep keeps everything already simulated.
-                    futures = [pool.submit(_worker, point) for point in pending]
-                    for future in as_completed(futures):
-                        point, data = future.result()
-                        record(point, SimulationResult.from_dict(data))
-            else:
-                for point in pending:
-                    record(point, run_point(point))
 
         # Key-duplicate points were simulated once; fill in the rest.
         # They count as neither store hits nor simulations.

@@ -35,12 +35,14 @@ from itertools import product
 from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.caches.registry import design_names, get_design
+from repro.exp.plugins import load_plugins
 from repro.sim.config import (
     MB,
     SimulationConfig,
     TimingConfig,
     make_system_config,
 )
+from repro.workloads.profiles import is_builtin_profile, profile_for, profile_names
 
 ENGINE_VERSION = "2"
 """Bump to invalidate every stored result when simulator semantics change.
@@ -117,7 +119,10 @@ class ExperimentPoint:
     Parameters
     ----------
     workload:
-        A :data:`~repro.workloads.cloudsuite.WORKLOAD_NAMES` entry.
+        A registered workload profile
+        (:func:`~repro.workloads.profiles.profile_names`): one of the
+        paper's :data:`~repro.workloads.cloudsuite.WORKLOAD_NAMES` or a
+        plugin-registered custom profile.
     design:
         A registered cache design (:func:`~repro.caches.registry.design_names`).
     capacity_mb:
@@ -159,6 +164,10 @@ class ExperimentPoint:
     timing_kwargs: CacheKwargs = ()
 
     def __post_init__(self) -> None:
+        if self.workload not in profile_names():
+            raise ValueError(
+                f"unknown workload {self.workload!r}; one of {profile_names()}"
+            )
         if self.design not in design_names():
             raise ValueError(
                 f"unknown design {self.design!r}; one of {design_names()}"
@@ -218,6 +227,14 @@ class ExperimentPoint:
         design re-registered with, say, a different interleaving must
         not alias its earlier results (its *code* cannot be hashed; see
         :meth:`repro.caches.registry.DesignSpec.traits`).
+
+        Custom workload profiles are pure data, so their *full payload*
+        is hashed (under ``workload_profile``): a profile re-registered
+        with different parameters between runs cannot alias its earlier
+        results.  Built-in profiles contribute no such entry — their
+        content only changes with the engine itself, which
+        :data:`ENGINE_VERSION` already versions, and omitting the entry
+        keeps every historically stored key reachable.
         """
         spec = get_design(self.design)
         config = self.config()
@@ -232,6 +249,8 @@ class ExperimentPoint:
             # like the baseline's capacity so a Fig. 1-style grid does
             # not fork (or re-run) identical baseline simulations.
             payload["stacked_timing"] = None
+        if not is_builtin_profile(self.workload):
+            payload["workload_profile"] = asdict(profile_for(self.workload))
         return {
             "engine": ENGINE_VERSION,
             "design_traits": spec.traits(),
@@ -288,6 +307,16 @@ class ExperimentSpec:
     The grid is the cross product of all axes, deduplicated (the baseline
     design collapses across capacities).
 
+    ``plugins`` names modules (dotted names or ``.py`` paths, see
+    :mod:`repro.exp.plugins`) whose import registers the custom designs
+    and workload profiles the grid references.  They are loaded when the
+    spec is constructed — so a spec file is self-contained: ``--spec``
+    works without a separate ``--plugin`` flag — and every execution
+    backend re-loads them inside its worker processes.  Plugins are
+    *environment*, not configuration: they never enter ``points()`` or
+    any store key (what they register does, through design traits and
+    custom-profile payloads).
+
     Guarantees:
 
     * ``points()`` order is deterministic — grid order, independent of
@@ -317,8 +346,13 @@ class ExperimentSpec:
     timing_variants: Any = ((),)
     scale: int = 256
     num_requests: int = 0
+    plugins: Union[str, Tuple[str, ...]] = ()
 
     def __post_init__(self) -> None:
+        # Plugins load first: they may register the very designs and
+        # workload profiles the axis validation below checks against.
+        object.__setattr__(self, "plugins", _str_tuple(self.plugins))
+        load_plugins(self.plugins)
         object.__setattr__(self, "workloads", _str_tuple(self.workloads))
         object.__setattr__(self, "designs", _str_tuple(self.designs))
         object.__setattr__(self, "capacities_mb", _int_tuple(self.capacities_mb))
@@ -330,6 +364,11 @@ class ExperimentSpec:
                      "cache_variants", "system_variants", "timing_variants"):
             if not getattr(self, name):
                 raise ValueError(f"{name} must not be empty")
+        for workload in self.workloads:
+            if workload not in profile_names():
+                raise ValueError(
+                    f"unknown workload {workload!r}; one of {profile_names()}"
+                )
         for design in self.designs:
             if design not in design_names():
                 raise ValueError(
@@ -387,6 +426,7 @@ class ExperimentSpec:
             "timing_variants": [dict(v) for v in self.timing_variants],
             "scale": self.scale,
             "num_requests": self.num_requests,
+            "plugins": list(self.plugins),
         }
 
     @classmethod

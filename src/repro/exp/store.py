@@ -21,6 +21,12 @@ tail line.  The store is self-managing through :meth:`ResultStore.stats`
 with only the live records, byte-for-byte) and :meth:`ResultStore.gc`
 (compact plus dropping records no known experiment references) — exposed
 on the command line as ``python -m repro store {stats,compact,gc}``.
+
+Stores also combine: :meth:`ResultStore.merge` folds other stores' live
+records into one with byte-level conflict detection
+(``python -m repro store merge SRC ... --into DST``), which is how the
+shard execution backend's per-shard stores become the single store an
+unsharded run would have produced.
 """
 
 from __future__ import annotations
@@ -111,6 +117,49 @@ class StoreStats:
 
 
 @dataclass(frozen=True)
+class MergeStats:
+    """What one :meth:`ResultStore.merge` did (``repro store merge``).
+
+    ``merged`` counts records appended to the destination;
+    ``duplicates`` counts source records skipped because an identical
+    record (same key, same bytes) was already present in the
+    destination or an earlier source.  Conflicting records — same key,
+    different bytes — never produce stats: :meth:`ResultStore.merge`
+    raises before writing anything.
+    """
+
+    destination: str
+    sources: Tuple[str, ...]
+    merged: int
+    duplicates: int
+
+
+class StoreMergeConflict(ValueError):
+    """Two stores disagree about a key's record bytes.
+
+    Raised by :meth:`ResultStore.merge` before anything is written.  A
+    conflict means the same resolved config produced different stored
+    bytes — possible only if simulator code changed without an
+    :data:`~repro.exp.spec.ENGINE_VERSION` bump, or a store was
+    hand-edited; shard runs of one engine can only ever produce
+    duplicates.  ``conflicts`` lists ``(key, source_path)`` pairs.
+    """
+
+    def __init__(self, conflicts):
+        self.conflicts = list(conflicts)
+        preview = ", ".join(
+            f"{key} (from {path})" for key, path in self.conflicts[:3]
+        )
+        more = "" if len(self.conflicts) <= 3 else (
+            f" and {len(self.conflicts) - 3} more"
+        )
+        super().__init__(
+            f"{len(self.conflicts)} conflicting record(s): {preview}{more}; "
+            f"stores disagree about these keys — nothing was merged"
+        )
+
+
+@dataclass(frozen=True)
 class CompactionStats:
     """What one :meth:`ResultStore.compact` / :meth:`~ResultStore.gc` did."""
 
@@ -183,6 +232,35 @@ class ResultStore:
             return None
         return SimulationResult.from_dict(record)
 
+    def _tail_missing_newline(self) -> bool:
+        """True if the store file ends in a torn, newline-less line.
+
+        Appending straight after such a tail would glue the new record
+        onto the torn line, corrupting both; :meth:`_append_lines`
+        writes a leading newline instead, which turns the torn tail into
+        an ordinary skippable torn line.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):  # missing or empty file
+            return False
+
+    def _append_lines(self, lines: Iterable[str]) -> None:
+        """The single append protocol: every writer goes through here.
+
+        Shared by :meth:`put` and :meth:`merge` so directly-written and
+        shard-merged stores cannot diverge in on-disk format.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        repair = self._tail_missing_newline()
+        with open(self.path, "a") as handle:
+            if repair:
+                handle.write("\n")
+            for line in lines:
+                handle.write(line + "\n")
+
     def put(self, point: ExperimentPoint, result: SimulationResult) -> None:
         """Persist ``result`` under ``point``'s config hash."""
         record = {
@@ -190,9 +268,7 @@ class ResultStore:
             "point": point.describe(),
             "result": result.to_dict(),
         }
-        os.makedirs(self.directory, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._append_lines([json.dumps(record, sort_keys=True)])
         self._load()[record["key"]] = record["result"]
 
     def invalidate(self) -> None:
@@ -307,6 +383,68 @@ class ResultStore:
             dropped_unreferenced=dropped["unreferenced"],
             bytes_before=bytes_before,
             bytes_after=os.path.getsize(self.path) if os.path.exists(self.path) else 0,
+        )
+
+    def merge(self, sources: Iterable["ResultStore"]) -> MergeStats:
+        """Fold other stores' live records into this one (shard merge).
+
+        The counterpart of :class:`~repro.exp.backends.ShardBackend`:
+        after ``n`` shard invocations into ``n`` store directories, a
+        merge produces one store equivalent to the unsharded run.
+
+        For every *live* record of every source (in order; stale,
+        orphaned, duplicate and torn source lines are ignored, exactly
+        as :meth:`compact` classifies them):
+
+        * key absent from the destination — the record is appended with
+          its original bytes, so merged and directly-written stores are
+          record-for-record byte-identical;
+        * key present with identical bytes — skipped, counted as a
+          duplicate (shards may legitimately overlap, e.g. key-duplicate
+          grid points landing in different shards);
+        * key present with different bytes — a conflict.  All sources
+          are scanned first and :class:`StoreMergeConflict` is raised
+          before anything is written, so a failed merge never leaves a
+          half-merged destination.
+
+        Merging a store into itself is rejected.
+        """
+        combined: Dict[str, str] = {
+            key: raw for raw, kind, key in self._classify() if kind == "live"
+        }
+        appended: List[str] = []
+        conflicts: List[Tuple[str, str]] = []
+        paths: List[str] = []
+        merged = duplicates = 0
+        own = os.path.abspath(self.path)
+        for source in sources:
+            if os.path.abspath(source.path) == own:
+                raise ValueError(f"cannot merge store {self.path!r} into itself")
+            if not os.path.exists(source.path):
+                raise ValueError(f"source store has no results file: {source.path}")
+            paths.append(source.path)
+            for raw, kind, key in source._classify():
+                if kind != "live":
+                    continue
+                existing = combined.get(key)
+                if existing is None:
+                    combined[key] = raw
+                    appended.append(raw)
+                    merged += 1
+                elif existing == raw:
+                    duplicates += 1
+                else:
+                    conflicts.append((key, source.path))
+        if conflicts:
+            raise StoreMergeConflict(conflicts)
+        if appended:
+            self._append_lines(appended)
+            self.invalidate()
+        return MergeStats(
+            destination=self.path,
+            sources=tuple(paths),
+            merged=merged,
+            duplicates=duplicates,
         )
 
     def gc(self, referenced: Iterable[ExperimentPoint]) -> CompactionStats:

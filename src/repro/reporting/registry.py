@@ -48,6 +48,8 @@ from typing import (
     Tuple,
 )
 
+from repro.exp.backends import SweepBackend
+from repro.exp.plugins import merge_plugins
 from repro.exp.runner import SweepProgress, SweepResult, SweepRunner
 from repro.exp.spec import ExperimentPoint, ExperimentSpec
 from repro.exp.store import ResultStore
@@ -265,15 +267,21 @@ def run_figure(
     jobs: int = 1,
     use_cache: bool = True,
     progress: Optional[Callable[[SweepProgress], None]] = None,
+    backend: Optional[SweepBackend] = None,
+    plugins: Sequence[str] = (),
 ) -> FigureOutput:
     """Execute one figure: sweep its grids, then render its artifacts.
 
     Missing points are simulated through ``runner`` (or a fresh
     :class:`SweepRunner` over ``store`` — defaulting to the shared
-    on-disk store — with ``jobs`` workers); everything already in the
-    store is served from it.  All of the figure's specs run as one
-    combined sweep, so parallelism spans the whole figure and shared
-    points simulate once.
+    on-disk store — with ``jobs`` workers, or any explicit execution
+    ``backend``); everything already in the store is served from it.
+    All of the figure's specs run as one combined sweep, so parallelism
+    spans the whole figure and shared points simulate once.  A sharding
+    backend is rejected: renderers read every grid point, so a partial
+    sweep cannot render (shard a figure's grid with ``repro sweep
+    --shard`` into shard stores, merge, then report from the merged
+    store).
     """
     figure = get_figure(name)
     if runner is None:
@@ -282,8 +290,22 @@ def run_figure(
             jobs=jobs,
             use_cache=use_cache,
             progress=progress,
+            backend=backend,
         )
-    combined = runner.run(figure.points()) if figure.specs else None
+    points = figure.points() if figure.specs else ()
+    if points and len(runner.backend.select(points)) != len(points):
+        raise ValueError(
+            f"backend {runner.backend.name!r} runs only a subset of the "
+            f"grid; figures need every point — sweep the shards into "
+            f"stores, 'store merge' them, then report from the result"
+        )
+    # The combined sweep runs as a plain point iterable, so the figure
+    # specs' own plugins ride along per-call — whichever runner is used —
+    # for worker processes to bootstrap them.
+    figure_plugins = merge_plugins(
+        plugins, *(spec.plugins for spec in figure.specs.values())
+    )
+    combined = runner.run(points, plugins=figure_plugins) if figure.specs else None
     sweeps: Dict[str, SweepResult] = {}
     for spec_name, spec in figure.specs.items():
         points = spec.points()

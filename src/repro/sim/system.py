@@ -128,13 +128,16 @@ def build_cache(
     return spec.builder(cache_config, stacked, offchip)
 
 
-def build_system(config: SimulationConfig, profile=None) -> System:
+def build_system(config: SimulationConfig) -> System:
     """Build a complete simulated pod from a :class:`SimulationConfig`.
 
     The config is the whole experiment: design, capacities, pod
-    architecture and DRAM device variants all come from it.  ``profile``
-    overrides the registered workload profile — the hook for user-defined
-    workloads (see ``examples/custom_workload.py``).
+    architecture, DRAM device variants and the workload all come from
+    it — ``config.workload`` names a profile in the workload registry
+    (:func:`repro.workloads.profiles.register_profile`), so user-defined
+    workloads build with no out-of-band arguments and participate in the
+    experiment engine's content hashes like built-ins (see
+    ``examples/custom_workload.py``).
     """
     spec = get_design(config.cache.design)
     offchip = _offchip_controller(
@@ -165,7 +168,6 @@ def build_system(config: SimulationConfig, profile=None) -> System:
         seed=config.seed,
         page_size=config.cache.page_size,
         dataset_scale=config.dataset_scale,
-        profile=profile,
     )
     return System(
         config=config,

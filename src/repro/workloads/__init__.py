@@ -12,7 +12,15 @@ reports (Section 6.1, Fig. 4).
 """
 
 from repro.workloads.cloudsuite import WORKLOAD_NAMES, make_workload
-from repro.workloads.profiles import AccessFunctionSpec, WorkloadProfile, profile_for
+from repro.workloads.profiles import (
+    AccessFunctionSpec,
+    WorkloadProfile,
+    is_builtin_profile,
+    profile_for,
+    profile_names,
+    register_profile,
+    unregister_profile,
+)
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.trace import materialize, trace_statistics
 
@@ -21,7 +29,11 @@ __all__ = [
     "make_workload",
     "AccessFunctionSpec",
     "WorkloadProfile",
+    "is_builtin_profile",
     "profile_for",
+    "profile_names",
+    "register_profile",
+    "unregister_profile",
     "SyntheticWorkload",
     "materialize",
     "trace_statistics",

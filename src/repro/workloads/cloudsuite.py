@@ -35,7 +35,9 @@ def make_workload(
     Parameters
     ----------
     name:
-        One of :data:`WORKLOAD_NAMES`.
+        A registered profile name: one of :data:`WORKLOAD_NAMES`, or any
+        custom profile added through
+        :func:`repro.workloads.profiles.register_profile`.
     seed:
         Trace seed; identical (name, seed, page_size) reproduce identical
         traces, which the benches rely on to compare designs on the *same*
@@ -46,8 +48,11 @@ def make_workload(
         Extra scaling applied to the profile's dataset, used when the cache
         capacity is scaled (see DESIGN.md, "Scaling and calibration").
     profile:
-        Override profile (for custom studies); ``name`` is then only a
-        label.
+        Explicit profile object, bypassing the registry; ``name`` is
+        then only a label.  Prefer registering the profile
+        (:func:`~repro.workloads.profiles.register_profile`) — a
+        registered profile works declaratively everywhere, worker
+        processes included.
     """
     resolved = profile or profile_for(name)
     if dataset_scale != 1.0:

@@ -18,12 +18,18 @@ Calibration targets (see DESIGN.md §5): the Fig. 4 page-density shapes,
 singleton fractions around a quarter of pages, page-cache and block-cache
 miss-ratio bands of Fig. 5a, and per-core off-chip bandwidth demand of
 0.6-1.6GB/s (Section 5.3) via ``instructions_per_access``.
+
+Profiles live in a registry (:func:`register_profile`), the plugin API
+for custom workloads: a registered profile is a valid
+``SimulationConfig.workload`` everywhere — simulator, sweeps, store —
+and worker processes recover it by loading the registering module as a
+plugin (see :mod:`repro.exp.plugins` and ``examples/custom_workload.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 MB = 1024 * 1024
 
@@ -131,11 +137,92 @@ def _ds(dataset_mb: int) -> int:
 
 
 _PROFILES: Dict[str, WorkloadProfile] = {}
+_BUILTIN: set = set()
+
+ProfileSource = Union[WorkloadProfile, Callable[[], WorkloadProfile]]
+
+
+def register_profile(
+    source: Optional[ProfileSource] = None, *, exist_ok: bool = False
+) -> ProfileSource:
+    """Register a :class:`WorkloadProfile` under its own name.
+
+    The registry is the plugin API for custom workloads, symmetric with
+    :func:`repro.caches.registry.register_design`: a registered profile
+    is immediately a valid ``SimulationConfig.workload`` /
+    ``ExperimentSpec`` axis value, builds through ``build_system`` with
+    no out-of-band arguments, and — inside worker processes — comes
+    back to life when the registering module is loaded as a plugin
+    (``ExperimentSpec(plugins=...)`` / ``repro sweep --plugin``).
+
+    Accepts the profile directly, or decorates a zero-argument factory
+    (called once at registration; the bound name becomes the profile)::
+
+        ANALYTICS = register_profile(WorkloadProfile(name="analytics", ...))
+
+        @register_profile
+        def analytics() -> WorkloadProfile:
+            return WorkloadProfile(name="analytics", ...)
+
+    Duplicate names are rejected — a profile name is a global identity
+    (config validation and store hashing both key on it).
+    ``exist_ok=True`` tolerates re-registering the *same* profile
+    (equal payload), keeping the existing registration — the contract
+    plugin modules should opt into, so re-importing them is harmless —
+    but still rejects a payload that differs: two plugins fighting over
+    one name is a conflict, never a silent no-op.
+    """
+    if source is None:
+        # Both decorator forms bind the name to the registered profile
+        # (with exist_ok, the registration actually in effect).
+        def decorate(inner: ProfileSource) -> ProfileSource:
+            return register_profile(inner, exist_ok=exist_ok)
+        return decorate
+    profile = source() if not isinstance(source, WorkloadProfile) else source
+    if not isinstance(profile, WorkloadProfile):
+        raise TypeError(
+            f"register_profile needs a WorkloadProfile (or a factory "
+            f"returning one), got {type(profile).__name__}"
+        )
+    existing = _PROFILES.get(profile.name)
+    if existing is not None:
+        if exist_ok and existing == profile:
+            return existing
+        differs = " with different parameters" if existing != profile else ""
+        raise ValueError(
+            f"profile {profile.name!r} is already registered{differs}"
+        )
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a previously registered non-built-in profile (for tests)."""
+    if name in _BUILTIN:
+        raise ValueError(f"cannot unregister built-in profile {name!r}")
+    if name not in _PROFILES:
+        raise ValueError(f"profile {name!r} is not registered")
+    del _PROFILES[name]
+
+
+def profile_names() -> Tuple[str, ...]:
+    """Every registered profile, in registration order (built-ins first)."""
+    return tuple(_PROFILES)
+
+
+def is_builtin_profile(name: str) -> bool:
+    """True if ``name`` ships with the package (paper Section 5.3).
+
+    Built-in profiles are versioned by the package itself (their
+    content only changes with :data:`repro.exp.spec.ENGINE_VERSION`
+    bumps); custom profiles hash their full payload into store keys —
+    see :meth:`repro.exp.spec.ExperimentPoint.describe`.
+    """
+    return name in _BUILTIN
 
 
 def _register(profile: WorkloadProfile) -> WorkloadProfile:
-    _PROFILES[profile.name] = profile
-    return profile
+    return register_profile(profile)
 
 
 # ---------------------------------------------------------------------------
@@ -321,6 +408,9 @@ WEB_SEARCH = _register(
         instructions_per_access=160,
     )
 )
+
+
+_BUILTIN.update(_PROFILES)
 
 
 def profile_for(name: str) -> WorkloadProfile:

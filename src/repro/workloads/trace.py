@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.mem.request import MemoryRequest, page_address
 
 
-def materialize(requests: Iterable[MemoryRequest], limit: int = None) -> List[MemoryRequest]:
+def materialize(
+    requests: Iterable[MemoryRequest], limit: Optional[int] = None
+) -> List[MemoryRequest]:
     """Collect up to ``limit`` requests into a list (all, if None).
 
     Benches materialise once and replay the identical trace against every

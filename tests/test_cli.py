@@ -105,6 +105,115 @@ class TestSweepMain:
         assert "1 simulated" in out
 
 
+class TestBackendFlags:
+    def test_backend_shard_plugin_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--backend", "process", "--shard", "2/3",
+             "--plugin", "mod_a", "--plugin", "mod_b"]
+        )
+        assert args.backend == "process"
+        assert args.shard == (2, 3)
+        assert args.plugin == ["mod_a", "mod_b"]
+
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.backend is None
+        assert args.shard is None
+        assert args.plugin is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "threads"])
+
+    def test_bad_shard_rejected(self):
+        for shard in ("3/2", "0/2", "x/y", "2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--shard", shard])
+
+    def test_unloadable_plugin_reported(self, capsys):
+        assert main(["sweep", "--plugin", "no.such.module"]) == 2
+        assert "cannot load plugin" in capsys.readouterr().err
+
+    def test_sharded_sweeps_merge_to_single_run_store(self, tmp_path, capsys):
+        grid = ["--workloads", "web_search", "--designs", "page",
+                "--capacities", "64,256", "--requests", "3000"]
+        assert main(["sweep", *grid, "--shard", "1/2",
+                     "--store", str(tmp_path / "s1")]) == 0
+        assert "shard 1/2: 1 points" in capsys.readouterr().out
+        assert main(["sweep", *grid, "--shard", "2/2",
+                     "--store", str(tmp_path / "s2")]) == 0
+        assert "shard 2/2: 1 points" in capsys.readouterr().out
+
+        assert main(["store", "merge", str(tmp_path / "s1"),
+                     str(tmp_path / "s2"), "--into",
+                     str(tmp_path / "merged")]) == 0
+        assert "2 record(s) from 2 store(s)" in capsys.readouterr().out
+
+        assert main(["sweep", *grid, "--store", str(tmp_path / "single")]) == 0
+        capsys.readouterr()
+
+        def lines(name):
+            with open(tmp_path / name / "results.jsonl") as handle:
+                return sorted(filter(None, handle.read().splitlines()))
+
+        assert lines("merged") == lines("single")
+
+        # The merged store serves the full grid.
+        assert main(["sweep", *grid, "--store", str(tmp_path / "merged")]) == 0
+        assert "all points served from cache" in capsys.readouterr().out
+
+
+class TestStoreMergeCLI:
+    def test_merge_requires_sources_and_into(self, capsys):
+        assert main(["store", "merge"]) == 2
+        assert "at least one SRC" in capsys.readouterr().err
+        assert main(["store", "merge", "somewhere"]) == 2
+        assert "--into" in capsys.readouterr().err
+
+    def test_merge_rejects_store_flag(self, tmp_path, capsys):
+        assert main(["store", "merge", "a", "--into", "b",
+                     "--store", str(tmp_path)]) == 2
+        assert "--into, not --store" in capsys.readouterr().err
+
+    def test_non_merge_actions_reject_merge_arguments(self, tmp_path, capsys):
+        assert main(["store", "stats", "extra", "--store", str(tmp_path)]) == 2
+        assert "only apply to 'store merge'" in capsys.readouterr().err
+
+    def test_missing_source_reported(self, tmp_path, capsys):
+        assert main(["store", "merge", str(tmp_path / "nope"),
+                     "--into", str(tmp_path / "dst")]) == 2
+        assert "no results file" in capsys.readouterr().err
+
+
+class TestPluginSweep:
+    def test_plugin_registered_profile_sweeps_and_recaches(self, tmp_path, capsys):
+        plugin = tmp_path / "plug.py"
+        plugin.write_text(
+            "from repro.workloads.profiles import (\n"
+            "    AccessFunctionSpec, WorkloadProfile, register_profile)\n"
+            "register_profile(WorkloadProfile(\n"
+            "    name='cli_plug', dataset_bytes=8 * 1024 * 1024,\n"
+            "    functions=(AccessFunctionSpec(kind='full', weight=1.0),),\n"
+            "), exist_ok=True)\n"
+        )
+        grid = ["sweep", "--plugin", str(plugin), "--workloads", "cli_plug",
+                "--designs", "page", "--capacities", "64",
+                "--requests", "3000", "--store", str(tmp_path / "store")]
+        try:
+            assert main(grid + ["--jobs", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "cli_plug/page/64MB" in out
+            assert "1 simulated" in out
+            # Serial re-run keys identically: everything is a cache hit.
+            assert main(grid + ["--backend", "serial"]) == 0
+            assert "all points served from cache" in capsys.readouterr().out
+        finally:
+            from repro.workloads.profiles import profile_names, unregister_profile
+
+            if "cli_plug" in profile_names():
+                unregister_profile("cli_plug")
+
+
 class TestSpecFile:
     def _write_spec(self, tmp_path, **axes):
         from repro.exp import ExperimentSpec

@@ -21,3 +21,35 @@ def test_docs_reference_only_real_cli_commands():
 def test_docs_exist():
     for doc in ("README.md", "ARCHITECTURE.md", os.path.join("benchmarks", "README.md")):
         assert os.path.exists(os.path.join(REPO_ROOT, doc)), doc
+
+
+def test_checker_catches_bad_flags_and_values():
+    """The checker validates flag *values*, not just flag names."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from check_docs import check_command
+
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        clean = (
+            "python -m repro sweep --backend process --shard 1/2 --jobs 2",
+            "python -m repro sweep --plugin examples/custom_design.py",
+            "python -m repro store merge shard1 shard2 --into merged",
+            "python -m repro report fig01 --backend serial",
+        )
+        for command in clean:
+            assert check_command(command, parser) == [], command
+        dirty = (
+            "python -m repro sweep --backend threads",     # bad choice
+            "python -m repro sweep --shard 3/2",           # bad shard value
+            "python -m repro sweep --jobs lots",           # bad int
+            "python -m repro store merge x --wrong-flag",  # unknown flag
+            "python -m repro store mend",                  # bad store action
+        )
+        for command in dirty:
+            assert check_command(command, parser), command
+    finally:
+        sys.path.remove(os.path.join(REPO_ROOT, "tools"))
+        sys.path.remove(os.path.join(REPO_ROOT, "src"))

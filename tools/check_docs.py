@@ -56,6 +56,30 @@ def _subparsers(parser: argparse.ArgumentParser):
     return {}
 
 
+def _check_flag_value(flag: str, value: str, action) -> list:
+    """Validate one documented flag value against the parser's action.
+
+    Checks ``choices`` membership (e.g. ``--backend serial``) and runs
+    custom ``type`` callables (e.g. the ``--shard I/N`` parser), so a
+    documented value the CLI would reject fails the docs check too.
+    Placeholder-free docs are the norm here; plain-``str`` flags are
+    left alone.
+    """
+    if action.choices is not None:
+        if value not in {str(choice) for choice in action.choices}:
+            return [
+                f"invalid value {value!r} for {flag} "
+                f"(one of {sorted(str(c) for c in action.choices)})"
+            ]
+        return []
+    if action.type not in (None, str):
+        try:
+            action.type(value)
+        except (ValueError, TypeError, argparse.ArgumentTypeError) as error:
+            return [f"invalid value {value!r} for {flag}: {error}"]
+    return []
+
+
 def check_command(command: str, parser: argparse.ArgumentParser):
     """All problems with one documented command line (empty = clean)."""
     # Strip inline fence comments ("# ...") before tokenising.
@@ -79,12 +103,26 @@ def check_command(command: str, parser: argparse.ArgumentParser):
                     f"store action must be one of {sorted(actions)}, "
                     f"got {tokens[:1]}"
                 )
-    known_flags = set(target._option_string_actions)
-    for token in tokens:
-        if token.startswith("--"):
-            flag = token.split("=")[0]
-            if flag not in known_flags:
-                problems.append(f"unknown flag {flag!r}")
+    known_flags = dict(target._option_string_actions)
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        index += 1
+        if not token.startswith("--"):
+            continue
+        flag, equals, inline_value = token.partition("=")
+        if flag not in known_flags:
+            problems.append(f"unknown flag {flag!r}")
+            continue
+        action = known_flags[flag]
+        if action.nargs == 0:  # store_true-style switches take no value
+            continue
+        value = inline_value if equals else None
+        if value is None and index < len(tokens) and not tokens[index].startswith("--"):
+            value = tokens[index]
+            index += 1
+        if value is not None:
+            problems.extend(_check_flag_value(flag, value, action))
     return problems
 
 
