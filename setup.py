@@ -8,6 +8,7 @@ setup(
     description="Footprint Cache (ISCA 2013) reproduction: die-stacked DRAM cache simulator",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # 3.10+: the hot-path types use dataclass(slots=True).
+    python_requires=">=3.10",
     install_requires=["numpy"],
 )

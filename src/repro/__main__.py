@@ -240,6 +240,55 @@ def build_parser() -> argparse.ArgumentParser:
         "the summary lines",
     )
 
+    perf = commands.add_parser(
+        "perf",
+        help="benchmark the simulation hot path and write BENCH_perf.json",
+        description="Time trace generation and end-to-end replay "
+        "(requests/sec per design, with a cold and a warm trace cache), "
+        "compare against the recorded pre-optimisation baseline "
+        "(benchmarks/perf_baseline.json), and write BENCH_perf.json at "
+        "the repo root.  Purely observational: never touches the result "
+        "store or any golden artifact.",
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: fewer requests and repeats, footprint+baseline only",
+    )
+    perf.add_argument(
+        "--designs", type=_csv(str), default=None, metavar="A,B,...",
+        help="designs to benchmark (default footprint,page,block,baseline)",
+    )
+    perf.add_argument(
+        "--workload", dest="perf_workload", default="web_search",
+        help="workload profile to replay — built-in or plugin-registered "
+        "(default web_search)",
+    )
+    perf.add_argument(
+        "--plugin", action="append", default=None, metavar="MOD",
+        help="module registering custom designs/workload profiles, loaded "
+        "before validation (repeatable)",
+    )
+    perf.add_argument(
+        "--capacity", dest="perf_capacity", type=int, default=256, metavar="MB",
+        help="nominal cache capacity in MB (default 256)",
+    )
+    perf.add_argument(
+        "--requests", dest="perf_requests", type=int, default=None, metavar="N",
+        help="trace length (default 120000; 30000 with --quick)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="timing repeats, best-of (default 3; 2 with --quick)",
+    )
+    perf.add_argument(
+        "--seed", dest="perf_seed", type=int, default=0,
+        help="trace seed (default 0)",
+    )
+    perf.add_argument(
+        "--out", dest="perf_out", default=None, metavar="FILE",
+        help="output path (default BENCH_perf.json at the repo root)",
+    )
+
     store = commands.add_parser(
         "store",
         help="inspect and maintain the persistent result store",
@@ -518,6 +567,103 @@ def _run_report(args) -> int:
     return 0
 
 
+def _run_perf(args) -> int:
+    # Imported lazily: the bench harness pulls in the simulator stack.
+    from repro.perf.bench import (
+        DEFAULT_DESIGNS,
+        DEFAULT_REPEATS,
+        DEFAULT_REQUESTS,
+        QUICK_REPEATS,
+        QUICK_REQUESTS,
+        run_bench,
+        write_bench,
+    )
+
+    from repro.workloads.profiles import profile_names
+
+    try:
+        # Plugins first: they may register the profile/designs named below.
+        load_plugins(tuple(args.plugin or ()))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    designs = args.designs
+    if designs is None:
+        designs = ("footprint", "baseline") if args.quick else DEFAULT_DESIGNS
+    unknown = [d for d in designs if d not in design_names()]
+    if unknown:
+        print(
+            f"error: unknown design(s) {', '.join(unknown)}; "
+            f"one of {', '.join(design_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.perf_workload not in profile_names():
+        print(
+            f"error: unknown workload {args.perf_workload!r}; "
+            f"one of {', '.join(profile_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    requests = args.perf_requests
+    if requests is None:
+        requests = QUICK_REQUESTS if args.quick else DEFAULT_REQUESTS
+    repeats = args.repeats
+    if repeats is None:
+        repeats = QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+
+    started = time.perf_counter()
+    try:
+        payload = run_bench(
+            designs=designs,
+            workload=args.perf_workload,
+            capacity_mb=args.perf_capacity,
+            num_requests=requests,
+            seed=args.perf_seed,
+            repeats=repeats,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    path = write_bench(payload, args.perf_out)
+
+    generation = payload["trace_generation"]
+    rows = [
+        (
+            "trace generation",
+            "-",
+            f"{generation['requests_per_second']:,.0f}/s",
+        )
+    ]
+    for design, bench in payload["designs"].items():
+        rows.append(
+            (
+                design,
+                f"{bench['cold_requests_per_second']:,.0f}/s",
+                f"{bench['warm_requests_per_second']:,.0f}/s",
+            )
+        )
+    print(
+        format_table(
+            ("stage", "cold trace cache", "warm trace cache"),
+            rows,
+            title=f"Hot-path throughput ({requests} requests, best of {repeats})",
+        )
+    )
+    headline = payload.get("headline")
+    if headline and "speedup_vs_pre_pr" in headline:
+        print(
+            f"{headline['design']} warm replay: "
+            f"{headline['warm_requests_per_second']:,.0f} requests/s — "
+            f"{headline['speedup_vs_pre_pr']:.2f}x the pre-optimisation "
+            f"engine ({headline['pre_pr_requests_per_second']:,.0f}/s, "
+            f"{headline['pre_pr_commit']})"
+        )
+    print(f"bench report written to {path} ({elapsed:.1f}s)")
+    return 0
+
+
 def _run_store(args) -> int:
     if args.action == "merge":
         return _run_store_merge(args)
@@ -592,6 +738,8 @@ def main(argv=None) -> int:
         return _run_sweep(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "perf":
+        return _run_perf(args)
     if args.command == "store":
         return _run_store(args)
     return _run_single(args)

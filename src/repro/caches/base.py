@@ -14,13 +14,24 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.dram.controller import MemoryController
-from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.mem.request import (
+    BLOCK_SIZE,
+    AccessType,
+    MemoryRequest,
+    _require_power_of_two,
+)
 from repro.perf.stats import StatGroup
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of one request at the DRAM cache level.
+
+    One result is created per simulated request (the hottest allocation
+    in the repo), so the class is a ``__slots__`` dataclass: no per
+    instance ``__dict__``, and a plain generated ``__init__``.  Treat
+    instances as immutable — they are shared bookkeeping records, not
+    mutable state.
 
     Attributes
     ----------
@@ -64,7 +75,20 @@ class DramCache(abc.ABC):
         self.stacked = stacked
         self.offchip = offchip
         self.block_size = block_size
+        # Address-split constants, validated once here instead of per
+        # access: ``address & _block_mask`` is ``block_address(address)``.
+        _require_power_of_two(block_size, "block_size")
+        self._block_mask = ~(block_size - 1)
         self.stats = StatGroup(self.name)
+        # The per-access counters, bound to attributes at construction so
+        # the hot path skips the StatGroup dict lookup.  StatGroup.reset()
+        # zeroes counters in place, so the bindings survive warm-up resets.
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
+        self._c_bypasses = self.stats.counter("bypasses")
+        self._c_fill_blocks = self.stats.counter("fill_blocks")
+        self._c_writeback_blocks = self.stats.counter("writeback_blocks")
+        self._c_total_latency = self.stats.counter("total_latency")
 
     @abc.abstractmethod
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
@@ -111,15 +135,21 @@ class DramCache(abc.ABC):
         return fetch.latency - timing.to_cpu_cycles(max(0, tail_bus_cycles))
 
     def _record(self, result: CacheAccessResult) -> CacheAccessResult:
-        """Fold one access result into the shared statistics."""
-        self.stats.counter("accesses").increment()
+        """Fold one access result into the shared statistics.
+
+        Uses the counters bound in ``__init__`` and bumps their values
+        directly; every recorded amount is non-negative by construction,
+        so the :meth:`~repro.perf.stats.Counter.increment` guard adds
+        nothing here.
+        """
+        self._c_accesses._value += 1
         if result.hit:
-            self.stats.counter("hits").increment()
+            self._c_hits._value += 1
         if result.bypassed:
-            self.stats.counter("bypasses").increment()
-        self.stats.counter("fill_blocks").increment(result.fill_blocks)
-        self.stats.counter("writeback_blocks").increment(result.writeback_blocks)
-        self.stats.counter("total_latency").increment(result.latency)
+            self._c_bypasses._value += 1
+        self._c_fill_blocks._value += result.fill_blocks
+        self._c_writeback_blocks._value += result.writeback_blocks
+        self._c_total_latency._value += result.latency
         return result
 
     def reset_stats(self) -> None:
@@ -137,16 +167,17 @@ class BaselineMemory(DramCache):
     name = "baseline"
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
+        is_write = request.access_type is AccessType.WRITE
         dram = self.offchip.access(
-            request.block_address(self.block_size),
+            request.address & self._block_mask,
             self.block_size,
-            request.is_write,
+            is_write,
             now,
         )
         return self._record(
             CacheAccessResult(
                 hit=False,
                 latency=dram.latency,
-                fill_blocks=0 if request.is_write else 1,
+                fill_blocks=0 if is_write else 1,
             )
         )

@@ -21,10 +21,10 @@ from repro.caches.base import CacheAccessResult, DramCache
 from repro.caches.missmap import MissMap
 from repro.caches.sram_cache import SetAssociativeCache
 from repro.dram.controller import MemoryController
-from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.mem.request import BLOCK_SIZE, AccessType, MemoryRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class _BlockLine:
     """Payload for one cached block."""
 
@@ -86,7 +86,8 @@ class BlockBasedCache(DramCache):
         return self._set_of(block_address) * self.row_bytes
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
-        block = request.block_address(self.block_size)
+        block = request.address & self._block_mask
+        is_write = request.access_type is AccessType.WRITE
         latency = self.missmap.latency_cycles
         if self.missmap.is_present(block):
             line = self._tags.lookup(block)
@@ -96,17 +97,17 @@ class BlockBasedCache(DramCache):
                     "mark_absent was skipped somewhere"
                 )
             dram = self.stacked.access(
-                self._row_address(block), self.block_size, request.is_write, now + latency
+                self._row_address(block), self.block_size, is_write, now + latency
             )
             latency += dram.latency + self._tag_read_penalty
-            if request.is_write:
+            if is_write:
                 line.dirty = True
             return self._record(CacheAccessResult(hit=True, latency=latency))
 
         # Miss: demand block comes from off-chip memory (critical path).
         fetch = self.offchip.access(block, self.block_size, False, now + latency)
         latency += fetch.latency
-        writebacks = self._fill_block(block, request.is_write, now + latency)
+        writebacks = self._fill_block(block, is_write, now + latency)
         return self._record(
             CacheAccessResult(
                 hit=False,

@@ -19,10 +19,10 @@ from repro.caches.base import CacheAccessResult
 from repro.caches.page_cache import PageBasedCache, PageLine
 from repro.caches.sram_cache import SetAssociativeCache
 from repro.dram.controller import MemoryController
-from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.mem.request import BLOCK_SIZE, AccessType, MemoryRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class _FilterEntry:
     """Access counter for one candidate page."""
 
@@ -88,34 +88,36 @@ class ChopCache(PageBasedCache):
         return entry.count >= self.hot_threshold
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
-        page = request.page_address(self.page_size)
+        address = request.address
+        page = address & self._page_mask
+        is_write = request.access_type is AccessType.WRITE
         line = self._tags.lookup(page)
         latency = self.tag_latency
         if line is not None:
-            offset = request.block_index_in_page(self.page_size, self.block_size)
+            offset = (address & self._offset_mask) >> self._block_shift
             dram = self.stacked.access(
-                line.frame + offset * self.block_size,
+                line.frame + (offset << self._block_shift),
                 self.block_size,
-                request.is_write,
+                is_write,
                 now + latency,
             )
             latency += dram.latency
             line.demanded_mask |= 1 << offset
-            if request.is_write:
+            if is_write:
                 line.dirty_mask |= 1 << offset
             return self._record(CacheAccessResult(hit=True, latency=latency))
 
         if self._is_hot(page):
             # Hot page: allocate and fetch the whole page, as the parent
             # page-based design does on a miss.
-            offset = request.block_index_in_page(self.page_size, self.block_size)
+            offset = (address & self._offset_mask) >> self._block_shift
             writebacks = self._make_room(page, now + latency)
             frame = self._frames.allocate(self._set_of(page))
             fetch = self.offchip.access(page, self.page_size, False, now + latency)
             latency += self._critical_fetch_latency(fetch, self.page_size)
             self.stacked.access(frame, self.page_size, True, now + latency)
             new_line = PageLine(frame=frame, demanded_mask=1 << offset)
-            if request.is_write:
+            if is_write:
                 new_line.dirty_mask = 1 << offset
             self._tags.insert(page, new_line)
             return self._record(
@@ -129,9 +131,9 @@ class ChopCache(PageBasedCache):
 
         # Cold page: serve the block off-chip, bypassing the cache.
         fetch = self.offchip.access(
-            request.block_address(self.block_size),
+            address & self._block_mask,
             self.block_size,
-            request.is_write,
+            is_write,
             now + latency,
         )
         latency += fetch.latency
@@ -140,6 +142,6 @@ class ChopCache(PageBasedCache):
                 hit=False,
                 latency=latency,
                 bypassed=True,
-                fill_blocks=0 if request.is_write else 1,
+                fill_blocks=0 if is_write else 1,
             )
         )

@@ -8,7 +8,7 @@ Cache delivers 82% of this bound (Section 6.3).
 from __future__ import annotations
 
 from repro.caches.base import CacheAccessResult, DramCache
-from repro.mem.request import MemoryRequest
+from repro.mem.request import AccessType, MemoryRequest
 
 
 class IdealCache(DramCache):
@@ -18,9 +18,9 @@ class IdealCache(DramCache):
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
         dram = self.stacked.access(
-            request.block_address(self.block_size),
+            request.address & self._block_mask,
             self.block_size,
-            request.is_write,
+            request.access_type is AccessType.WRITE,
             now,
         )
         return self._record(CacheAccessResult(hit=True, latency=dram.latency))

@@ -14,10 +14,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.caches.sram_cache import SetAssociativeCache
-from repro.mem.request import BLOCK_SIZE, page_address, page_offset
+from repro.mem.request import BLOCK_SIZE, _require_power_of_two
 
 
-@dataclass
+@dataclass(slots=True)
 class MissMapEntry:
     """Presence bit vector for one tracked segment."""
 
@@ -54,6 +54,13 @@ class MissMap:
         self.block_size = block_size
         self.blocks_per_segment = segment_bytes // block_size
         self.latency_cycles = latency_cycles
+        # Segment-split constants (== page_address/page_offset with the
+        # power-of-two checks hoisted to construction time).
+        _require_power_of_two(segment_bytes, "segment_bytes")
+        _require_power_of_two(block_size, "block_size")
+        self._segment_mask = ~(segment_bytes - 1)
+        self._offset_mask = segment_bytes - 1
+        self._block_shift = block_size.bit_length() - 1
         num_sets = num_entries // associativity
         self._table: SetAssociativeCache[int, MissMapEntry] = SetAssociativeCache(
             num_sets=num_sets,
@@ -64,13 +71,14 @@ class MissMap:
         self.forced_eviction_count = 0
 
     def _segment_of(self, block_address: int) -> Tuple[int, int]:
-        segment = page_address(block_address, self.segment_bytes)
-        offset = page_offset(block_address, self.segment_bytes, self.block_size)
+        segment = block_address & self._segment_mask
+        offset = (block_address & self._offset_mask) >> self._block_shift
         return segment, offset
 
     def is_present(self, block_address: int) -> bool:
         """True if the MissMap believes the block is cached."""
-        segment, offset = self._segment_of(block_address)
+        segment = block_address & self._segment_mask
+        offset = (block_address & self._offset_mask) >> self._block_shift
         entry = self._table.lookup(segment, touch=False)
         return entry is not None and bool(entry.present_mask >> offset & 1)
 

@@ -15,10 +15,15 @@ from repro.caches.base import CacheAccessResult, DramCache
 from repro.caches.sram_cache import SetAssociativeCache
 from repro.bitops import popcount
 from repro.dram.controller import MemoryController
-from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.mem.request import (
+    BLOCK_SIZE,
+    AccessType,
+    MemoryRequest,
+    _require_power_of_two,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class PageLine:
     """Metadata for one resident page."""
 
@@ -95,6 +100,13 @@ class PageBasedCache(DramCache):
         self.tag_latency = tag_latency
         self.blocks_per_page = page_size // block_size
         self.num_sets = capacity_bytes // (page_size * associativity)
+        # Address-split constants, validated once (not per access):
+        # page  = address & _page_mask
+        # offset = (address & _offset_mask) >> _block_shift
+        _require_power_of_two(page_size, "page_size")
+        self._page_mask = ~(page_size - 1)
+        self._offset_mask = page_size - 1
+        self._block_shift = block_size.bit_length() - 1
         self._tags: SetAssociativeCache[int, PageLine] = SetAssociativeCache(
             num_sets=self.num_sets,
             associativity=associativity,
@@ -107,20 +119,22 @@ class PageBasedCache(DramCache):
         return (page // self.page_size) % self.num_sets
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
-        page = request.page_address(self.page_size)
-        offset = request.block_index_in_page(self.page_size, self.block_size)
+        address = request.address
+        page = address & self._page_mask
+        offset = (address & self._offset_mask) >> self._block_shift
+        is_write = request.access_type is AccessType.WRITE
         latency = self.tag_latency
         line = self._tags.lookup(page)
         if line is not None:
             dram = self.stacked.access(
-                line.frame + offset * self.block_size,
+                line.frame + (offset << self._block_shift),
                 self.block_size,
-                request.is_write,
+                is_write,
                 now + latency,
             )
             latency += dram.latency
             line.demanded_mask |= 1 << offset
-            if request.is_write:
+            if is_write:
                 line.dirty_mask |= 1 << offset
             return self._record(CacheAccessResult(hit=True, latency=latency))
 
@@ -134,7 +148,7 @@ class PageBasedCache(DramCache):
         latency += self._critical_fetch_latency(fetch, self.page_size)
         self.stacked.access(frame, self.page_size, True, now + latency)
         new_line = PageLine(frame=frame, demanded_mask=1 << offset)
-        if request.is_write:
+        if is_write:
             new_line.dirty_mask = 1 << offset
         if self._tags.insert(page, new_line) is not None:
             raise RuntimeError("victim should have been evicted by _make_room")

@@ -14,7 +14,14 @@ Key = TypeVar("Key", bound=Hashable)
 
 
 class ReplacementPolicy(abc.ABC, Generic[Key]):
-    """Tracks recency/occupancy of one cache set and picks victims."""
+    """Tracks recency/occupancy of one cache set and picks victims.
+
+    One instance exists per cache *set* — large tag arrays hold many
+    thousands — so the concrete policies use ``__slots__`` to keep the
+    per-set node footprint small.
+    """
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def on_access(self, key: Key) -> None:
@@ -43,6 +50,8 @@ class LruPolicy(ReplacementPolicy[Key]):
     Implemented over an insertion-ordered dict: Python dicts preserve
     insertion order, so re-inserting on access keeps the first key the LRU.
     """
+
+    __slots__ = ("_order",)
 
     def __init__(self) -> None:
         self._order: dict = {}
@@ -74,6 +83,8 @@ class LruPolicy(ReplacementPolicy[Key]):
 
 class RandomPolicy(ReplacementPolicy[Key]):
     """Uniform-random replacement (seeded for reproducibility)."""
+
+    __slots__ = ("_rng", "_keys", "_index")
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)

@@ -17,12 +17,16 @@ Key = TypeVar("Key", bound=Hashable)
 Payload = TypeVar("Payload")
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction(Generic[Key, Payload]):
     """A (key, payload) pair pushed out of a set by an insertion."""
 
     key: Key
     payload: Payload
+
+
+_MISSING = object()
+"""Sentinel distinguishing "absent" from a legitimately-None payload."""
 
 
 class SetAssociativeCache(Generic[Key, Payload]):
@@ -80,14 +84,21 @@ class SetAssociativeCache(Generic[Key, Payload]):
         return index
 
     def lookup(self, key: Key, touch: bool = True) -> Optional[Payload]:
-        """Payload for ``key`` or None; updates recency when ``touch``."""
-        set_id = self._index_of(key)
+        """Payload for ``key`` or None; updates recency when ``touch``.
+
+        This is the hottest method of every tag structure, so the set
+        index validation is inlined and the set dict is probed once.
+        """
+        set_id = self._set_index(key)
+        if not 0 <= set_id < self.num_sets:
+            raise ValueError(f"set_index returned {set_id}, outside [0, {self.num_sets})")
         entries = self._entries[set_id]
-        if key not in entries:
+        payload = entries.get(key, _MISSING)
+        if payload is _MISSING:
             return None
         if touch:
             self._policies[set_id].on_access(key)
-        return entries[key]
+        return payload
 
     def insert(self, key: Key, payload: Payload) -> Optional[Eviction[Key, Payload]]:
         """Insert ``key``; returns the eviction it forced, if any.

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.caches.base import CacheAccessResult
 from repro.caches.page_cache import PageBasedCache, PageLine
-from repro.mem.request import MemoryRequest
+from repro.mem.request import AccessType, MemoryRequest
 
 
 class SubBlockedCache(PageBasedCache):
@@ -19,21 +19,23 @@ class SubBlockedCache(PageBasedCache):
     name = "subblock"
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
-        page = request.page_address(self.page_size)
-        offset = request.block_index_in_page(self.page_size, self.block_size)
+        address = request.address
+        page = address & self._page_mask
+        offset = (address & self._offset_mask) >> self._block_shift
+        is_write = request.access_type is AccessType.WRITE
         bit = 1 << offset
         latency = self.tag_latency
         line = self._tags.lookup(page)
 
         if line is not None and line.demanded_mask & bit:
             dram = self.stacked.access(
-                line.frame + offset * self.block_size,
+                line.frame + (offset << self._block_shift),
                 self.block_size,
-                request.is_write,
+                is_write,
                 now + latency,
             )
             latency += dram.latency
-            if request.is_write:
+            if is_write:
                 line.dirty_mask |= bit
             return self._record(CacheAccessResult(hit=True, latency=latency))
 
@@ -48,14 +50,17 @@ class SubBlockedCache(PageBasedCache):
             writebacks = 0
 
         fetch = self.offchip.access(
-            page + offset * self.block_size, self.block_size, False, now + latency
+            page + (offset << self._block_shift), self.block_size, False, now + latency
         )
         latency += fetch.latency
         self.stacked.access(
-            line.frame + offset * self.block_size, self.block_size, True, now + latency
+            line.frame + (offset << self._block_shift),
+            self.block_size,
+            True,
+            now + latency,
         )
         line.demanded_mask |= bit
-        if request.is_write:
+        if is_write:
             line.dirty_mask |= bit
         return self._record(
             CacheAccessResult(

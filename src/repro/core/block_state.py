@@ -45,13 +45,15 @@ class BlockState(enum.Enum):
         return self is BlockState.DEMANDED_DIRTY
 
 
-@dataclass
+@dataclass(slots=True)
 class PageBlockBits:
     """The two per-page bit vectors (D and V of Fig. 3 / Table 2).
 
     ``high_mask`` holds each block's high (dirty-column) bit and
     ``low_mask`` the low (valid-column) bit, so block *i*'s state is
-    ``(high>>i & 1, low>>i & 1)``.
+    ``(high>>i & 1, low>>i & 1)``.  Hot-path consumers test presence with
+    mask arithmetic directly (``(high | low) >> i & 1``) rather than
+    through :meth:`state_of`, which constructs an enum member.
     """
 
     blocks_per_page: int

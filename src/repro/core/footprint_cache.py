@@ -20,7 +20,12 @@ from repro.core.footprint_predictor import FootprintHistoryTable, PredictorStats
 from repro.core.singleton_table import SingletonTable
 from repro.core.tag_array import FootprintTagArray, PageEntry
 from repro.dram.controller import MemoryController
-from repro.mem.request import BLOCK_SIZE, MemoryRequest
+from repro.mem.request import (
+    BLOCK_SIZE,
+    AccessType,
+    MemoryRequest,
+    _require_power_of_two,
+)
 
 
 class FootprintCache(DramCache):
@@ -61,6 +66,12 @@ class FootprintCache(DramCache):
         self.page_size = page_size
         self.tag_latency = tag_latency
         self.blocks_per_page = page_size // block_size
+        # Address-split constants, validated once at configuration time so
+        # the per-access path is pure mask arithmetic.
+        _require_power_of_two(page_size, "page_size")
+        self._page_mask = ~(page_size - 1)
+        self._offset_mask = page_size - 1
+        self._block_shift = block_size.bit_length() - 1
         self.tags = FootprintTagArray(
             capacity_bytes,
             page_size=page_size,
@@ -83,13 +94,17 @@ class FootprintCache(DramCache):
     # Access flow
     # ------------------------------------------------------------------
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
-        page = request.page_address(self.page_size)
-        offset = request.block_index_in_page(self.page_size, self.block_size)
+        address = request.address
+        page = address & self._page_mask
+        offset = (address & self._offset_mask) >> self._block_shift
         latency = self.tag_latency
         entry = self.tags.lookup(page)
 
         if entry is not None:
-            if entry.blocks.state_of(offset).is_present:
+            blocks = entry.blocks
+            # Present check == blocks.state_of(offset).is_present, without
+            # constructing the BlockState enum member on the hot path.
+            if (blocks.high_mask | blocks.low_mask) >> offset & 1:
                 return self._record(self._hit(entry, offset, request, now, latency))
             return self._record(
                 self._underprediction_miss(entry, offset, request, now, latency)
@@ -105,13 +120,14 @@ class FootprintCache(DramCache):
         latency: int,
     ) -> CacheAccessResult:
         """Demanded block is resident: serve from stacked DRAM."""
+        is_write = request.access_type is AccessType.WRITE
         dram = self.stacked.access(
-            entry.frame + offset * self.block_size,
+            entry.frame + (offset << self._block_shift),
             self.block_size,
-            request.is_write,
+            is_write,
             now + latency,
         )
-        entry.blocks.mark_demanded(offset, dirty=request.is_write)
+        entry.blocks.mark_demanded(offset, dirty=is_write)
         return CacheAccessResult(hit=True, latency=latency + dram.latency)
 
     def _underprediction_miss(
@@ -129,13 +145,18 @@ class FootprintCache(DramCache):
         """
         self.stats.counter("underprediction_misses").increment()
         fetch = self.offchip.access(
-            request.block_address(self.block_size), self.block_size, False, now + latency
+            request.address & self._block_mask, self.block_size, False, now + latency
         )
         latency += fetch.latency
         self.stacked.access(
-            entry.frame + offset * self.block_size, self.block_size, True, now + latency
+            entry.frame + (offset << self._block_shift),
+            self.block_size,
+            True,
+            now + latency,
         )
-        entry.blocks.mark_demanded(offset, dirty=request.is_write)
+        entry.blocks.mark_demanded(
+            offset, dirty=request.access_type is AccessType.WRITE
+        )
         return CacheAccessResult(hit=False, latency=latency, fill_blocks=1)
 
     def _page_miss(
@@ -206,10 +227,11 @@ class FootprintCache(DramCache):
     ) -> CacheAccessResult:
         """Serve a predicted-singleton block off-chip without allocating."""
         self.stats.counter("singleton_bypasses").increment()
+        is_write = request.access_type is AccessType.WRITE
         fetch = self.offchip.access(
-            request.block_address(self.block_size),
+            request.address & self._block_mask,
             self.block_size,
-            request.is_write,
+            is_write,
             now + latency,
         )
         if rerecord and self.singleton_table is not None:
@@ -220,7 +242,7 @@ class FootprintCache(DramCache):
             bypassed=True,
             # A bypassed read fetches one block; a bypassed write is
             # forwarded off-chip without fetching anything.
-            fill_blocks=0 if request.is_write else 1,
+            fill_blocks=0 if is_write else 1,
         )
 
     def _allocate_and_fetch(

@@ -18,7 +18,7 @@ from repro.core.block_state import PageBlockBits
 from repro.core.footprint_predictor import PredictorKey
 
 
-@dataclass
+@dataclass(slots=True)
 class PageEntry:
     """Tag-array entry for one resident page."""
 

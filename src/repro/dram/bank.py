@@ -29,7 +29,7 @@ class RowOutcome(enum.Enum):
     CONFLICT = "conflict"
 
 
-@dataclass
+@dataclass(slots=True)
 class BankAccess:
     """Result of presenting one access to a bank."""
 
@@ -45,7 +45,15 @@ class Bank:
     it reproduces row hit/closed/conflict sequences and bank occupancy, the
     two properties the paper's locality arguments rest on, without a full
     command-level replay.
+
+    ``__slots__`` because a controller holds channels x banks instances
+    and the hot path reads/writes their fields constantly.  The
+    controller's access loop inlines this state machine
+    (:meth:`repro.dram.controller.MemoryController.access`); this class
+    remains the reference implementation and the unit-test surface.
     """
+
+    __slots__ = ("policy", "_open_row", "busy_until", "activate_count", "precharge_count")
 
     def __init__(self, policy: RowBufferPolicy = RowBufferPolicy.OPEN_PAGE) -> None:
         self.policy = policy

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.dram.address_mapping import AddressMapping
-from repro.dram.bank import Bank, RowBufferPolicy, RowOutcome
+from repro.dram.bank import Bank, RowBufferPolicy
 from repro.dram.energy import DramEnergyCounters, DramEnergyModel
 from repro.dram.timing import DramTiming
 
@@ -30,16 +30,22 @@ class AccessOutcome(enum.Enum):
     ROW_CONFLICT = "row_conflict"
 
 
-_OUTCOME_FROM_ROW = {
-    RowOutcome.HIT: AccessOutcome.ROW_HIT,
-    RowOutcome.CLOSED: AccessOutcome.ROW_CLOSED,
-    RowOutcome.CONFLICT: AccessOutcome.ROW_CONFLICT,
-}
+# Row-outcome codes used by the inlined bank state machine in access():
+# 0 = HIT, 1 = CLOSED, 2 = CONFLICT (mirrors RowOutcome's classification).
+_OUTCOME_CODES = (
+    AccessOutcome.ROW_HIT,
+    AccessOutcome.ROW_CLOSED,
+    AccessOutcome.ROW_CONFLICT,
+)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DramAccessResult:
-    """Timing outcome of one access."""
+    """Timing outcome of one access.
+
+    Created once per DRAM operation (a hot allocation), hence a
+    ``__slots__`` dataclass; treat instances as immutable records.
+    """
 
     outcome: AccessOutcome
     start_cycle: int
@@ -93,6 +99,32 @@ class MemoryController:
         self.busy_cpu_cycles = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        # --- hot-path constants, computed once instead of per access ---
+        # Address decomposition (mirrors AddressMapping.locate exactly).
+        self._interleave_bytes = mapping.interleave_bytes
+        self._channels = mapping.channels
+        self._banks_per_channel = mapping.banks_per_channel
+        self._chunks_per_row = max(1, mapping.row_bytes // mapping.interleave_bytes)
+        # Row-operation bus cycles per outcome, write-recovery policy.
+        self._close_page = policy is RowBufferPolicy.CLOSE_PAGE
+        self._row_cycles = (
+            timing.row_hit_bus_cycles,       # RowOutcome HIT  -> code 0
+            timing.row_closed_bus_cycles,    # RowOutcome CLOSED -> code 1
+            timing.row_conflict_bus_cycles,  # RowOutcome CONFLICT -> code 2
+        )
+        self._write_recovery = timing.t_wr if self._close_page else 0
+        # (num_bytes, outcome_code, is_write) -> device CPU cycles.  The
+        # distinct transfer sizes per run are few (block, footprint
+        # multiples, page), so this memo removes the burst/row/convert
+        # arithmetic from the per-access path without changing one cycle.
+        self._device_cycles: dict = {}
+        # Per-event energy constants (same factors record_read/record_write
+        # multiply by; the division by 64.0 is exact, so inlining keeps the
+        # accumulated floats bit-identical).
+        model = self.energy.model
+        self._activate_nj = model.activate_precharge_nj
+        self._read_nj_per_64b = model.read_burst_nj_per_64b
+        self._write_nj_per_64b = model.write_burst_nj_per_64b
 
     def access(self, address: int, num_bytes: int, is_write: bool, now: int = 0) -> DramAccessResult:
         """Perform one access of ``num_bytes`` starting at CPU cycle ``now``.
@@ -102,53 +134,93 @@ class MemoryController:
         the interleave unit are striped across channels; we model the
         latency of the critical path (the widest stripe on one bank) and
         charge energy for all of it.
+
+        The body is the de-virtualised equivalent of address
+        ``mapping.locate`` + ``bank.access`` + timing/energy accounting:
+        same arithmetic in the same order, with the per-access lookups and
+        intermediate objects hoisted into construction-time constants (see
+        ``__init__``).  ``Bank.access`` remains the reference state
+        machine; ``tests/test_controller.py`` pins the equivalence.
         """
         if num_bytes <= 0:
             raise ValueError("num_bytes must be positive")
         if now < 0:
             raise ValueError("now must be non-negative")
+        if address < 0:
+            raise ValueError("address must be non-negative")
 
-        channel, bank_index, row = self.mapping.locate(address)
-        bank = self._banks[channel][bank_index]
-        bank_access = bank.access(row)
-        outcome = _OUTCOME_FROM_ROW[bank_access.outcome]
+        # Address decomposition (== mapping.locate(address)).
+        chunk = address // self._interleave_bytes
+        channel = chunk % self._channels
+        chunk //= self._channels
+        bank = self._banks[channel][chunk % self._banks_per_channel]
+        row = chunk // self._banks_per_channel // self._chunks_per_row
 
-        if bank_access.outcome is RowOutcome.HIT:
-            row_bus_cycles = self.timing.row_hit_bus_cycles
-        elif bank_access.outcome is RowOutcome.CLOSED:
-            row_bus_cycles = self.timing.row_closed_bus_cycles
+        # Bank row-buffer state machine (== bank.access(row)).
+        open_row = bank._open_row
+        if open_row is None:
+            outcome_code = 1  # CLOSED
+            activates = 1
+            precharges = 0
+        elif open_row == row:
+            outcome_code = 0  # HIT
+            activates = 0
+            precharges = 0
         else:
-            row_bus_cycles = self.timing.row_conflict_bus_cycles
+            outcome_code = 2  # CONFLICT
+            activates = 1
+            precharges = 1
+        if self._close_page:
+            bank._open_row = None
+            if outcome_code != 2:
+                precharges += 1
+        else:
+            bank._open_row = row
+        bank.activate_count += activates
+        bank.precharge_count += precharges
 
-        stripe_bytes = min(num_bytes, self.mapping.interleave_bytes)
-        burst_bus_cycles = self.timing.burst_cycles(stripe_bytes)
-        if is_write:
-            row_bus_cycles += self.timing.t_wr if self.policy is RowBufferPolicy.CLOSE_PAGE else 0
+        # Device cycles (== to_cpu_cycles(row op + burst [+ t_wr])).
+        cycles_key = (num_bytes, outcome_code, is_write)
+        device_cycles = self._device_cycles.get(cycles_key)
+        if device_cycles is None:
+            row_bus_cycles = self._row_cycles[outcome_code]
+            stripe_bytes = min(num_bytes, self._interleave_bytes)
+            burst_bus_cycles = self.timing.burst_cycles(stripe_bytes)
+            if is_write:
+                row_bus_cycles += self._write_recovery
+            device_cycles = self.timing.to_cpu_cycles(
+                row_bus_cycles + burst_bus_cycles, self.cpu_mhz
+            )
+            self._device_cycles[cycles_key] = device_cycles
 
-        device_cycles = self.timing.to_cpu_cycles(row_bus_cycles + burst_bus_cycles, self.cpu_mhz)
-        start = bank.reserve(now, device_cycles)
+        # Bank occupancy (== bank.reserve(now, device_cycles)).
+        start = bank.busy_until
+        if start < now:
+            start = now
+        bank.busy_until = start + device_cycles
         finish = start + device_cycles
-        queue_cycles = start - now
 
-        self.energy.record_row_operations(bank_access.activates, bank_access.precharges)
+        # Energy and traffic (== energy.record_* with the same float ops).
+        if activates:
+            self.energy.activate_precharge_nj += activates * self._activate_nj
         if is_write:
-            self.energy.record_write(num_bytes)
+            self.energy.write_nj += num_bytes / 64.0 * self._write_nj_per_64b
             self.bytes_written += num_bytes
         else:
-            self.energy.record_read(num_bytes)
+            self.energy.read_nj += num_bytes / 64.0 * self._read_nj_per_64b
             self.bytes_read += num_bytes
 
         self.access_count += 1
-        if outcome is AccessOutcome.ROW_HIT:
+        if outcome_code == 0:
             self.row_hit_count += 1
         self.busy_cpu_cycles += device_cycles
 
         return DramAccessResult(
-            outcome=outcome,
+            outcome=_OUTCOME_CODES[outcome_code],
             start_cycle=start,
             finish_cycle=finish,
             latency=finish - now,
-            queue_cycles=queue_cycles,
+            queue_cycles=start - now,
         )
 
     @property

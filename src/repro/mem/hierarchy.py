@@ -15,11 +15,16 @@ from dataclasses import dataclass
 
 from repro.caches.base import CacheAccessResult, DramCache
 from repro.caches.sram_cache import SetAssociativeCache
-from repro.mem.request import BLOCK_SIZE, AccessType, MemoryRequest
+from repro.mem.request import (
+    BLOCK_SIZE,
+    AccessType,
+    MemoryRequest,
+    _require_power_of_two,
+)
 from repro.perf.stats import StatGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class _L2Line:
     """Payload per cached block."""
 
@@ -59,6 +64,10 @@ class L2Cache:
             set_index=lambda block: (block // block_size) % num_sets,
         )
         self.stats = StatGroup("l2")
+        _require_power_of_two(block_size, "block_size")
+        self._block_mask = ~(block_size - 1)
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
 
     @property
     def accesses(self) -> int:
@@ -79,12 +88,12 @@ class L2Cache:
 
     def access(self, request: MemoryRequest, now: int) -> CacheAccessResult:
         """Service one core request; misses recurse into the DRAM cache."""
-        self.stats.counter("accesses").increment()
-        block = request.block_address(self.block_size)
+        self._c_accesses._value += 1
+        block = request.address & self._block_mask
         line = self._lines.lookup(block)
         if line is not None:
-            self.stats.counter("hits").increment()
-            if request.is_write:
+            self._c_hits._value += 1
+            if request.access_type is AccessType.WRITE:
                 line.dirty = True
             return CacheAccessResult(hit=True, latency=self.hit_latency)
 

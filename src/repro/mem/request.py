@@ -64,6 +64,34 @@ class MemoryRequest:
                 f"instruction_count must be non-negative, got {self.instruction_count}"
             )
 
+    @classmethod
+    def fast(
+        cls,
+        address: int,
+        pc: int = 0,
+        access_type: AccessType = AccessType.READ,
+        core_id: int = 0,
+        instruction_count: int = 1,
+    ) -> "MemoryRequest":
+        """Validation-free constructor for the trace hot path.
+
+        Skips ``__init__``/``__post_init__`` entirely: callers must
+        guarantee ``address >= 0`` and ``instruction_count >= 0``, which
+        the trace generators do by construction.  The returned request is
+        indistinguishable from one built normally (same fields, equality,
+        ``dataclasses.asdict``); only the per-request validation cost is
+        gone, which matters when a materialized trace is replayed through
+        several designs.
+        """
+        self = object.__new__(cls)
+        d = self.__dict__
+        d["address"] = address
+        d["pc"] = pc
+        d["access_type"] = access_type
+        d["core_id"] = core_id
+        d["instruction_count"] = instruction_count
+        return self
+
     @property
     def is_write(self) -> bool:
         """True if this request modifies the block."""

@@ -14,7 +14,15 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 
 class Counter:
-    """A named monotonic event counter."""
+    """A named monotonic event counter.
+
+    Hot-path components bind counters once and bump ``_value`` directly
+    (see :meth:`repro.caches.base.DramCache._record`); :meth:`increment`
+    is the validating public API.  ``__slots__`` because per-access code
+    reads these objects constantly.
+    """
+
+    __slots__ = ("name", "_value")
 
     def __init__(self, name: str, initial: int = 0) -> None:
         if initial < 0:
@@ -43,6 +51,8 @@ class Counter:
 
 class RatioStat:
     """A hits/total style ratio with guard against empty denominators."""
+
+    __slots__ = ("name", "numerator", "denominator")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -80,6 +90,8 @@ class RatioStat:
 
 class Histogram:
     """Integer-bucketed histogram (e.g. page density in blocks, Fig. 4)."""
+
+    __slots__ = ("name", "_buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -184,13 +196,33 @@ class StatGroup:
         for histogram in self._histograms.values():
             histogram.reset()
 
+    def histograms(self) -> Dict[str, Histogram]:
+        """The group's histograms by (unqualified) name.
+
+        Unlike :meth:`as_dict`, this exposes the full distributions —
+        buckets, percentiles — rather than scalar summaries.
+        """
+        return dict(self._histograms)
+
     def as_dict(self) -> Dict[str, float]:
-        """Flatten to a {name: value} mapping for reporting."""
+        """Flatten to a {name: value} mapping for reporting.
+
+        Counters contribute their value and ratios their ratio under
+        their plain name.  Histograms cannot be summarised in one number,
+        so each contributes two scalars — ``<name>_mean`` and
+        ``<name>_total`` (observation count); use :meth:`histograms` for
+        the full distributions.  (Histograms were previously omitted
+        entirely, which silently hid e.g. eviction-density data from
+        flat reports.)
+        """
         out: Dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = float(counter.value)
         for name, ratio in self._ratios.items():
             out[name] = ratio.ratio
+        for name, histogram in self._histograms.items():
+            out[f"{name}_mean"] = histogram.mean()
+            out[f"{name}_total"] = float(histogram.total)
         return out
 
     def __repr__(self) -> str:

@@ -18,6 +18,8 @@ from repro.mem.request import BLOCK_SIZE, MemoryRequest
 from repro.perf.timing_model import PerformanceModel, PerformanceResult
 from repro.sim.config import SimulationConfig
 from repro.sim.system import System, build_system
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import max_cached_requests, shared_trace_cache
 
 
 @dataclass(frozen=True)
@@ -110,12 +112,55 @@ class Simulator:
 
     def __init__(self, config: SimulationConfig, system: Optional[System] = None) -> None:
         self.config = config
+        # A system the simulator built itself has a pristine workload
+        # generator, so replays can be served from the shared trace cache
+        # with exact continuation semantics; an externally built system
+        # may have been consumed already and keeps the generator path.
+        self._private_system = system is None
+        self._stream_position = 0
         self.system = system or build_system(config)
         self.perf = PerformanceModel(
             num_cores=config.system.num_cores,
             base_cpi=config.system.base_cpi,
             exposed_latency_fraction=config.system.exposed_latency_fraction,
         )
+
+    def _stream(self, count: int) -> Iterable[MemoryRequest]:
+        """The next ``count`` workload requests, via the shared trace cache.
+
+        The cache serves segment ``[position, position + count)`` of the
+        deterministic request stream — value-identical to what the
+        system's own generator would produce — so one materialised trace
+        is shared by every design (and every simulator) replaying the
+        same (profile, seed, page size).  Falls back to the live
+        generator for externally built systems or non-synthetic
+        workloads.
+        """
+        workload = self.system.workload
+        cache = shared_trace_cache()
+        if (
+            self._private_system
+            and isinstance(workload, SyntheticWorkload)
+            # A disabled cache (REPRO_TRACE_CACHE=0) means *streaming*:
+            # materialising per run would cost more than caching.
+            and cache.max_entries > 0
+            # Paper-sized traces stay on the streaming generator
+            # (materialising them would pin hundreds of MB); the choice
+            # is sticky per simulator — once a run was served from the
+            # cache, continuations must come from the same stream.
+            and (self._stream_position > 0 or count <= max_cached_requests())
+        ):
+            start = self._stream_position
+            self._stream_position = start + count
+            return cache.requests(
+                workload.profile,
+                self.config.seed,
+                workload.page_size,
+                count,
+                start=start,
+                block_size=workload.block_size,
+            )
+        return workload.requests(count)
 
     def run(self, trace: Optional[Sequence[MemoryRequest]] = None) -> SimulationResult:
         """Replay the workload (or an explicit ``trace``) and summarise.
@@ -127,10 +172,9 @@ class Simulator:
         # Requests enter at the system's frontend: the DRAM cache itself,
         # or the extra-L2 slice in front of it (Section 6.3).  Statistics
         # are summarised at the DRAM cache level either way.
-        cache = self.system.frontend
         perf = self.perf
         warmup = self.config.warmup_requests
-        processed = 0
+        limit = self.config.num_requests
 
         # Reset explicitly before replaying anything: the measured window
         # then always starts from a known state, whether warm-up completes
@@ -143,21 +187,40 @@ class Simulator:
 
         requests: Iterable[MemoryRequest]
         if trace is None:
-            requests = self.system.workload.requests(self.config.num_requests)
+            requests = self._stream(limit)
         else:
             requests = iter(trace)
 
+        # The replay loop is the hottest code in the repo: everything it
+        # touches per request is bound to a local, and the per-core time
+        # accounting is inlined (same arithmetic, in the same order, as
+        # PerformanceModel.core_now/advance — see test_perf_model's
+        # equivalence test).  Instruction counts accumulate locally and
+        # flush to the model at the measurement boundary and at the end.
+        access = self.system.frontend.access
+        core_time = perf._core_time
+        num_cores = perf.num_cores
+        base_cpi = perf.base_cpi
+        exposed = perf.exposed_latency_fraction
+        processed = 0
+        instructions = 0
         for request in requests:
-            if not measuring and processed == warmup:
+            if processed == warmup and not measuring:
+                perf._instructions += instructions
+                instructions = 0
                 self.system.reset_stats()
                 perf.start_measurement()
                 measuring = True
-            now = perf.core_now(request.core_id)
-            result = cache.access(request, now)
-            perf.advance(request.core_id, request.instruction_count, result.latency)
+            core = request.core_id % num_cores
+            result = access(request, int(core_time[core]))
+            core_time[core] += (
+                request.instruction_count * base_cpi + result.latency * exposed
+            )
+            instructions += request.instruction_count
             processed += 1
-            if processed >= self.config.num_requests:
+            if processed >= limit:
                 break
+        perf._instructions += instructions
 
         measured = processed - warmup if measuring else processed
         return self._summarise(measured)

@@ -22,7 +22,13 @@ from repro.workloads.profiles import (
     unregister_profile,
 )
 from repro.workloads.synthetic import SyntheticWorkload
-from repro.workloads.trace import materialize, trace_statistics
+from repro.workloads.trace import (
+    Trace,
+    TraceCache,
+    materialize,
+    shared_trace_cache,
+    trace_statistics,
+)
 
 __all__ = [
     "WORKLOAD_NAMES",
@@ -35,6 +41,9 @@ __all__ = [
     "register_profile",
     "unregister_profile",
     "SyntheticWorkload",
+    "Trace",
+    "TraceCache",
     "materialize",
+    "shared_trace_cache",
     "trace_statistics",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -35,7 +36,7 @@ from repro.mem.request import AccessType, MemoryRequest
 from repro.workloads.profiles import AccessFunctionSpec, WorkloadProfile
 
 
-@dataclass
+@dataclass(slots=True)
 class _Visit:
     """One in-flight invocation of an access function on one page."""
 
@@ -51,10 +52,16 @@ class _ZipfSampler:
     """Zipf(alpha) sampler over [0, n) with a precomputed CDF.
 
     Page popularity within a function's region.  ``alpha == 0`` degenerates
-    to uniform; the CDF is built once per (n, alpha) pair and shared.
+    to uniform; the CDF is built once per (n, alpha) pair and shared
+    through a small per-process LRU (an unbounded cache would grow without
+    limit under dataset-scale sweeps, which vary ``n`` per point).
+    Eviction is invisible to samplers: the CDF is recomputed automatically
+    (bit-identically — it is a pure function of ``(n, alpha)``) and live
+    samplers keep a reference to their own CDF regardless.
     """
 
-    _cache: Dict[Tuple[int, float], np.ndarray] = {}
+    _cache: "OrderedDict[Tuple[int, float], np.ndarray]" = OrderedDict()
+    _cache_max_entries = 32
 
     def __init__(self, n: int, alpha: float) -> None:
         if n <= 0:
@@ -62,13 +69,19 @@ class _ZipfSampler:
         self.n = n
         self.alpha = alpha
         key = (n, round(alpha, 6))
-        if key not in self._cache:
+        cached = self._cache.get(key)
+        if cached is None:
             ranks = np.arange(1, n + 1, dtype=np.float64)
             weights = ranks ** -alpha if alpha > 0 else np.ones(n)
             cdf = np.cumsum(weights)
             cdf /= cdf[-1]
             self._cache[key] = cdf
-        self._cdf = self._cache[key]
+            if len(self._cache) > self._cache_max_entries:
+                self._cache.popitem(last=False)
+            cached = cdf
+        else:
+            self._cache.move_to_end(key)
+        self._cdf = cached
 
     def sample(self, u: float) -> int:
         """Rank (0-based) for a uniform draw ``u`` in [0, 1)."""
@@ -287,29 +300,28 @@ class SyntheticWorkload:
         if count < 0:
             raise ValueError("count must be non-negative")
         rng = self._rng
+        random_draw = rng.random
+        randrange = rng.randrange
+        log = math.log
         pool = self._pool
+        pool_size = self.profile.pool_size
+        block_size = self.block_size
         mean_gap = self.profile.instructions_per_access
+        make_request = MemoryRequest.fast
+        read, write = AccessType.READ, AccessType.WRITE
         for _ in range(count):
-            while len(pool) < self.profile.pool_size:
+            while len(pool) < pool_size:
                 pool.append(self._open_visit())
-            slot = rng.randrange(len(pool))
+            slot = randrange(len(pool))
             visit = pool[slot]
             offset = visit.blocks[visit.position]
-            address = visit.page + offset * self.block_size
-            access_type = (
-                AccessType.WRITE
-                if rng.random() < visit.write_fraction
-                else AccessType.READ
-            )
+            address = visit.page + offset * block_size
+            access_type = write if random_draw() < visit.write_fraction else read
             # Geometric gap with the profile's mean: bursty like real cores.
-            gap = 1 + int(-mean_gap * math.log(max(rng.random(), 1e-12)))
-            yield MemoryRequest(
-                address=address,
-                pc=visit.pc,
-                access_type=access_type,
-                core_id=visit.core_id,
-                instruction_count=gap,
-            )
+            gap = 1 + int(-mean_gap * log(max(random_draw(), 1e-12)))
+            # Fast constructor: address and gap are non-negative by
+            # construction, so the per-request validation adds nothing.
+            yield make_request(address, visit.pc, access_type, visit.core_id, gap)
             visit.position += 1
             if visit.position >= len(visit.blocks):
                 pool[slot] = pool[-1]

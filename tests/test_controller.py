@@ -149,3 +149,108 @@ class TestReset:
         controller.reset_stats()
         result = controller.access(64, 64, False, 10_000)
         assert result.outcome is AccessOutcome.ROW_HIT
+
+
+class TestInlinedAccessEquivalence:
+    """The controller inlines locate + Bank.access + energy accounting.
+
+    Bank and AddressMapping remain the reference implementations; this
+    randomized test replays the same access sequence through the
+    de-virtualized MemoryController.access and through a step-by-step
+    reference built from those primitives, and requires identical
+    outcomes, timing, traffic, energy and bank state.
+    """
+
+    @staticmethod
+    def _reference_access(mapping, timing, policy, banks, energy_model, state, request):
+        """One access exactly as the pre-optimisation controller computed it."""
+        from repro.dram.bank import RowOutcome
+        from repro.dram.controller import AccessOutcome
+
+        address, num_bytes, is_write, now = request
+        channel, bank_index, row = mapping.locate(address)
+        bank = banks[channel][bank_index]
+        bank_access = bank.access(row)
+        outcome = {
+            RowOutcome.HIT: AccessOutcome.ROW_HIT,
+            RowOutcome.CLOSED: AccessOutcome.ROW_CLOSED,
+            RowOutcome.CONFLICT: AccessOutcome.ROW_CONFLICT,
+        }[bank_access.outcome]
+        if bank_access.outcome is RowOutcome.HIT:
+            row_bus_cycles = timing.row_hit_bus_cycles
+        elif bank_access.outcome is RowOutcome.CLOSED:
+            row_bus_cycles = timing.row_closed_bus_cycles
+        else:
+            row_bus_cycles = timing.row_conflict_bus_cycles
+        stripe = min(num_bytes, mapping.interleave_bytes)
+        burst = timing.burst_cycles(stripe)
+        if is_write:
+            row_bus_cycles += timing.t_wr if policy is RowBufferPolicy.CLOSE_PAGE else 0
+        device_cycles = timing.to_cpu_cycles(row_bus_cycles + burst, 3000)
+        start = bank.reserve(now, device_cycles)
+        state["energy"].record_row_operations(bank_access.activates, bank_access.precharges)
+        if is_write:
+            state["energy"].record_write(num_bytes)
+            state["bytes_written"] += num_bytes
+        else:
+            state["energy"].record_read(num_bytes)
+            state["bytes_read"] += num_bytes
+        state["busy"] += device_cycles
+        return outcome, start, start + device_cycles, start + device_cycles - now
+
+    @pytest.mark.parametrize("policy", [RowBufferPolicy.OPEN_PAGE, RowBufferPolicy.CLOSE_PAGE])
+    @pytest.mark.parametrize("interleave", [64, 2048])
+    def test_randomized_equivalence(self, policy, interleave):
+        import random
+
+        from repro.dram.bank import Bank
+        from repro.dram.energy import DramEnergyCounters, DramEnergyModel
+
+        rng = random.Random(13)
+        mapping = AddressMapping(
+            channels=2, banks_per_channel=4, row_bytes=2048,
+            interleave_bytes=interleave,
+        )
+        controller = MemoryController(
+            timing=STACKED_DDR3_3200, mapping=mapping, policy=policy,
+            energy_model=DramEnergyModel.stacked(),
+        )
+        banks = [[Bank(policy) for _ in range(4)] for _ in range(2)]
+        state = {
+            "energy": DramEnergyCounters(model=DramEnergyModel.stacked()),
+            "bytes_read": 0, "bytes_written": 0, "busy": 0,
+        }
+
+        now = 0
+        for _ in range(2_000):
+            request = (
+                rng.randrange(0, 1 << 22) & ~63,
+                rng.choice([64, 128, 512, 2048]),
+                rng.random() < 0.3,
+                now,
+            )
+            result = controller.access(*request)
+            outcome, start, finish, latency = self._reference_access(
+                mapping, STACKED_DDR3_3200, policy, banks,
+                DramEnergyModel.stacked(), state, request,
+            )
+            assert result.outcome is outcome
+            assert (result.start_cycle, result.finish_cycle, result.latency) == (
+                start, finish, latency
+            )
+            now += rng.randrange(0, 200)
+
+        assert controller.bytes_read == state["bytes_read"]
+        assert controller.bytes_written == state["bytes_written"]
+        assert controller.busy_cpu_cycles == state["busy"]
+        assert controller.energy.activate_precharge_nj == state["energy"].activate_precharge_nj
+        assert controller.energy.read_nj == state["energy"].read_nj
+        assert controller.energy.write_nj == state["energy"].write_nj
+        for channel in range(2):
+            for index in range(4):
+                reference_bank = banks[channel][index]
+                live_bank = controller._banks[channel][index]
+                assert live_bank.open_row == reference_bank.open_row
+                assert live_bank.busy_until == reference_bank.busy_until
+                assert live_bank.activate_count == reference_bank.activate_count
+                assert live_bank.precharge_count == reference_bank.precharge_count

@@ -94,3 +94,49 @@ class TestPerformanceModel:
             return model.result().aggregate_ipc
 
         assert run(50) > run(500)
+
+
+class TestInlinedLoopEquivalence:
+    def test_simulator_inline_arithmetic_matches_model(self):
+        """The simulator's replay loop inlines core_now/advance.
+
+        This pins the equivalence: the inlined form (locals bound, the
+        same float expression) must walk per-core time and instruction
+        totals exactly like the public methods, for arbitrary sequences.
+        """
+        import random
+
+        rng = random.Random(11)
+        events = [
+            (rng.randrange(0, 40), rng.randrange(0, 500), rng.randrange(0, 900))
+            for _ in range(3_000)
+        ]
+
+        reference = PerformanceModel(
+            num_cores=16, base_cpi=0.55, exposed_latency_fraction=0.7
+        )
+        nows_reference = []
+        for core_id, instructions, latency in events:
+            nows_reference.append(reference.core_now(core_id))
+            reference.advance(core_id, instructions, latency)
+
+        inlined = PerformanceModel(
+            num_cores=16, base_cpi=0.55, exposed_latency_fraction=0.7
+        )
+        core_time = inlined._core_time
+        num_cores = inlined.num_cores
+        base_cpi = inlined.base_cpi
+        exposed = inlined.exposed_latency_fraction
+        nows_inlined = []
+        total = 0
+        for core_id, instructions, latency in events:
+            core = core_id % num_cores
+            nows_inlined.append(int(core_time[core]))
+            core_time[core] += instructions * base_cpi + latency * exposed
+            total += instructions
+        inlined._instructions += total
+
+        assert nows_inlined == nows_reference
+        assert inlined._core_time == reference._core_time
+        assert inlined.total_instructions == reference.total_instructions
+        assert inlined.result() == reference.result()

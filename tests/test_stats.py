@@ -168,6 +168,32 @@ class TestStatGroup:
         assert flattened["c"] == 2.0
         assert flattened["r"] == 0.5
 
+    def test_as_dict_includes_histograms(self):
+        group = StatGroup("g")
+        group.histogram("density").record(4)
+        group.histogram("density").record(8)
+        flattened = group.as_dict()
+        assert flattened["density_mean"] == 6.0
+        assert flattened["density_total"] == 2.0
+
+    def test_as_dict_empty_histogram(self):
+        group = StatGroup("g")
+        group.histogram("density")
+        flattened = group.as_dict()
+        assert flattened["density_mean"] == 0.0
+        assert flattened["density_total"] == 0.0
+
+    def test_histograms_accessor(self):
+        group = StatGroup("g")
+        histogram = group.histogram("density")
+        histogram.record(3, count=5)
+        accessor = group.histograms()
+        assert accessor["density"] is histogram
+        assert accessor["density"].count(3) == 5
+        # The returned mapping is a copy; mutating it changes nothing.
+        accessor.clear()
+        assert group.histograms()["density"] is histogram
+
 
 class TestAggregates:
     def test_geometric_mean_simple(self):

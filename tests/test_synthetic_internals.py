@@ -61,6 +61,40 @@ class TestZipfSampler:
         b = _ZipfSampler(500, 0.8)
         assert a._cdf is b._cdf
 
+    def test_cache_bounded_by_lru(self):
+        _ZipfSampler._cache.clear()
+        bound = _ZipfSampler._cache_max_entries
+        for n in range(1, bound + 10):
+            _ZipfSampler(n, 0.8)
+        assert len(_ZipfSampler._cache) == bound
+        # The oldest entries were evicted, the newest kept.
+        assert (1, 0.8) not in _ZipfSampler._cache
+        assert (bound + 9, 0.8) in _ZipfSampler._cache
+
+    def test_eviction_does_not_change_sampled_ranks(self):
+        _ZipfSampler._cache.clear()
+        before = _ZipfSampler(400, 1.2)
+        draws = [i / 97.0 % 1.0 for i in range(97)]
+        expected = [before.sample(u) for u in draws]
+        # Flood the cache until (400, 1.2) is evicted ...
+        for n in range(1000, 1000 + _ZipfSampler._cache_max_entries + 5):
+            _ZipfSampler(n, 0.8)
+        assert (400, round(1.2, 6)) not in _ZipfSampler._cache
+        # ... the live sampler keeps its CDF, and a recomputed sampler
+        # produces identical ranks.
+        assert [before.sample(u) for u in draws] == expected
+        rebuilt = _ZipfSampler(400, 1.2)
+        assert [rebuilt.sample(u) for u in draws] == expected
+
+    def test_lru_touch_on_reuse(self):
+        _ZipfSampler._cache.clear()
+        _ZipfSampler(10, 0.5)
+        for n in range(20, 20 + _ZipfSampler._cache_max_entries - 1):
+            _ZipfSampler(n, 0.5)
+        _ZipfSampler(10, 0.5)  # touch: becomes most-recently-used
+        _ZipfSampler(999, 0.5)  # evicts the oldest, which is no longer (10, .5)
+        assert (10, 0.5) in _ZipfSampler._cache
+
 
 class TestFootprintMemo:
     def test_footprint_stable_without_drift(self):

@@ -1,0 +1,208 @@
+"""Determinism tests for the shared materialized-trace fast path.
+
+The trace cache (:mod:`repro.workloads.trace`) is a pure optimization: a
+request stream served cold, from a warm cache, as a longer trace's
+prefix, inside a worker process, or through ``Simulator.run(trace=...)``
+must be value-identical to what the live generator would produce.  These
+tests pin that invariant — the byte-parity gate in CI depends on it.
+"""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+from repro.mem.request import AccessType, MemoryRequest
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.cloudsuite import make_workload
+from repro.workloads.trace import Trace, TraceCache, shared_trace_cache
+
+
+def fresh_stream(n, seed=0, page_size=2048, workload="web_search"):
+    return list(make_workload(workload, seed=seed, page_size=page_size).requests(n))
+
+
+def profile_of(workload="web_search"):
+    return make_workload(workload).profile
+
+
+class TestFastConstructor:
+    def test_equals_validated_construction(self):
+        normal = MemoryRequest(
+            address=4096, pc=0x400, access_type=AccessType.WRITE,
+            core_id=3, instruction_count=17,
+        )
+        fast = MemoryRequest.fast(4096, 0x400, AccessType.WRITE, 3, 17)
+        assert fast == normal
+        assert dataclasses.asdict(fast) == dataclasses.asdict(normal)
+        assert fast.is_write and fast.block_address() == 4096
+
+    def test_defaults_match(self):
+        assert MemoryRequest.fast(64) == MemoryRequest(address=64)
+
+
+class TestTraceColumns:
+    def test_round_trip(self):
+        stream = fresh_stream(400)
+        trace = Trace.from_requests(stream)
+        assert len(trace) == 400
+        assert list(trace) == stream
+        assert trace.requests() == stream
+        assert list(trace.addresses) == [r.address for r in stream]
+        assert list(trace.writes) == [1 if r.is_write else 0 for r in stream]
+
+    def test_request_objects_shared_across_calls(self):
+        trace = Trace.from_requests(fresh_stream(50))
+        assert trace.requests()[7] is trace.requests()[7]
+
+    def test_limit(self):
+        trace = Trace.from_requests(fresh_stream(50), limit=20)
+        assert len(trace) == 20
+
+    def test_indexing(self):
+        stream = fresh_stream(30)
+        trace = Trace.from_requests(stream)
+        assert trace[5] == stream[5]
+        assert trace[-1] == stream[-1]
+        assert trace[3:7] == stream[3:7]
+
+
+class TestTraceCacheDeterminism:
+    def test_cold_equals_generator(self):
+        cache = TraceCache(max_entries=4)
+        served = cache.requests(profile_of(), 0, 2048, 600)
+        assert served == fresh_stream(600)
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_warm_equals_cold(self):
+        cache = TraceCache(max_entries=4)
+        cold = cache.requests(profile_of(), 3, 2048, 500)
+        warm = cache.requests(profile_of(), 3, 2048, 500)
+        assert warm == cold
+        assert cache.hits == 1
+        # Warm serving reuses the very same request objects.
+        assert warm[0] is cold[0]
+
+    def test_prefix_of_longer_trace(self):
+        cache = TraceCache(max_entries=4)
+        short = cache.requests(profile_of(), 0, 2048, 300)
+        long = cache.requests(profile_of(), 0, 2048, 900)
+        assert long[:300] == short
+        assert long == fresh_stream(900)
+
+    def test_segment_serving_is_exact_continuation(self):
+        cache = TraceCache(max_entries=4)
+        first = cache.requests(profile_of(), 0, 2048, 400)
+        second = cache.requests(profile_of(), 0, 2048, 400, start=400)
+        assert first + second == fresh_stream(800)
+
+    def test_distinct_keys_do_not_alias(self):
+        cache = TraceCache(max_entries=8)
+        base = cache.requests(profile_of(), 0, 2048, 200)
+        assert cache.requests(profile_of(), 1, 2048, 200) != base
+        assert cache.requests(profile_of(), 0, 4096, 200) != base
+        assert cache.requests(profile_of("mapreduce"), 0, 2048, 200) != base
+
+    def test_eviction_regenerates_identically(self):
+        cache = TraceCache(max_entries=1)
+        first = cache.requests(profile_of(), 0, 2048, 300)
+        cache.requests(profile_of("mapreduce"), 0, 2048, 100)  # evicts web_search
+        assert len(cache) == 1
+        again = cache.requests(profile_of(), 0, 2048, 300)
+        assert again == first
+        assert cache.misses == 3  # every fill was a cold generation
+
+    def test_disabled_cache_still_exact(self):
+        cache = TraceCache(max_entries=0)
+        assert cache.requests(profile_of(), 0, 2048, 250) == fresh_stream(250)
+        assert len(cache) == 0
+
+    def test_total_request_budget_evicts_lru(self):
+        cache = TraceCache(max_entries=8, max_total_requests=500)
+        first = cache.requests(profile_of(), 0, 2048, 300)
+        cache.requests(profile_of(), 1, 2048, 300)  # 600 total: seed-0 evicted
+        assert cache.cached_requests <= 500
+        assert len(cache) == 1
+        assert cache.requests(profile_of(), 0, 2048, 300) == first
+
+    def test_oversized_single_entry_evicted_after_serving(self):
+        cache = TraceCache(max_entries=4, max_total_requests=100)
+        served = cache.requests(profile_of(), 0, 2048, 250)
+        assert len(cache) == 0  # over budget on its own: dropped, not pinned
+        assert served == fresh_stream(250)
+        assert cache.requests(profile_of(), 0, 2048, 250) == served
+
+    def test_validation(self):
+        cache = TraceCache(max_entries=2)
+        with pytest.raises(ValueError):
+            cache.requests(profile_of(), 0, 2048, -1)
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=-1)
+
+
+def _worker_stream_fields(args):
+    """Materialise a trace inside a worker process (module-level for mp)."""
+    workload, seed, n = args
+    from repro.workloads.cloudsuite import make_workload
+    from repro.workloads.trace import shared_trace_cache
+
+    profile = make_workload(workload).profile
+    served = shared_trace_cache().requests(profile, seed, 2048, n)
+    return [
+        (r.address, r.pc, r.is_write, r.core_id, r.instruction_count)
+        for r in served
+    ]
+
+
+class TestWorkerProcessDeterminism:
+    def test_worker_serves_identical_stream(self):
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(1) as pool:
+            remote = pool.map(_worker_stream_fields, [("web_search", 0, 300)])[0]
+        local = [
+            (r.address, r.pc, r.is_write, r.core_id, r.instruction_count)
+            for r in fresh_stream(300)
+        ]
+        assert remote == local
+
+
+class TestSimulatorFastPath:
+    def small_config(self, **kwargs):
+        return SimulationConfig.scaled(
+            "web_search", kwargs.pop("design", "footprint"), 256,
+            scale=256, num_requests=kwargs.pop("num_requests", 6_000), **kwargs
+        )
+
+    def test_cached_run_equals_explicit_trace(self):
+        config = self.small_config()
+        workload = make_workload(
+            config.workload, seed=config.seed,
+            page_size=config.cache.page_size, dataset_scale=config.dataset_scale,
+        )
+        trace = list(workload.requests(6_000))
+        via_cache = Simulator(config).run()
+        via_trace = Simulator(config).run(trace=trace)
+        assert via_cache == via_trace
+
+    def test_cold_and_warm_runs_identical(self):
+        config = self.small_config(seed=7)
+        shared_trace_cache().clear()
+        cold = Simulator(config).run()
+        warm = Simulator(config).run()
+        assert cold == warm
+
+    def test_repeated_runs_deterministic_across_simulators(self):
+        config = self.small_config()
+        sim_a, sim_b = Simulator(config), Simulator(config)
+        assert sim_a.run() == sim_b.run()
+        # Second runs continue the stream, identically on both.
+        assert sim_a.run() == sim_b.run()
+
+    def test_externally_built_system_keeps_generator_path(self):
+        from repro.sim.system import build_system
+
+        config = self.small_config()
+        system = build_system(config)
+        external = Simulator(config, system=system).run()
+        assert external == Simulator(config).run()

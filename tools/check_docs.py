@@ -126,23 +126,43 @@ def check_command(command: str, parser: argparse.ArgumentParser):
     return problems
 
 
+def documented_subcommands(commands) -> set:
+    """Subcommand names exercised by the documented invocations."""
+    used = set()
+    for _, command in commands:
+        tokens = command.split("  #")[0].split()[3:]
+        if tokens and not tokens[0].startswith("-"):
+            used.add(tokens[0])
+    return used
+
+
 def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.__main__ import build_parser
 
     parser = build_parser()
     failures = []
+    all_commands = []
     for doc in DOC_FILES:
         path = os.path.join(REPO_ROOT, doc)
         with open(path) as handle:
             text = handle.read()
         commands = list(iter_fenced_commands(text))
+        all_commands.extend(commands)
         for number, command in commands:
             for problem in check_command(command, parser):
                 failures.append(f"{doc}:{number}: {command!r}: {problem}")
         print(f"{doc}: {len(commands)} CLI invocation(s) checked")
+    # Coverage in the other direction: every live subcommand (sweep,
+    # report, perf, store, ...) must be demonstrated in at least one doc
+    # fence, so new CLI surface cannot land undocumented.
+    missing = set(_subparsers(parser)) - documented_subcommands(all_commands)
+    for name in sorted(missing):
+        failures.append(
+            f"subcommand {name!r} is never demonstrated in {', '.join(DOC_FILES)}"
+        )
     if failures:
-        print("\nDocs reference CLI commands the parser does not have:")
+        print("\nDocs/CLI inconsistencies:")
         for failure in failures:
             print(f"  {failure}")
         return 1
