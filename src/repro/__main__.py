@@ -47,6 +47,7 @@ And keep the store itself healthy::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -61,7 +62,7 @@ from repro.exp import (
     make_backend,
     parse_shard,
 )
-from repro.sim.config import SimulationConfig
+from repro.sim.config import EXECUTION_ENGINES, SimulationConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.cloudsuite import WORKLOAD_NAMES
 
@@ -112,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--baseline", action="store_true",
         help="also run the no-cache baseline and report the improvement",
+    )
+    parser.add_argument(
+        "--engine", choices=EXECUTION_ENGINES, default=None,
+        help="execution engine (default interp; vector requires NumPy and "
+        "is byte-identical, just faster)",
     )
 
     commands = parser.add_subparsers(dest="command", metavar="command")
@@ -181,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore stored results (fresh results are still recorded)",
     )
     sweep.add_argument(
+        "--engine", dest="sweep_engine", choices=EXECUTION_ENGINES, default=None,
+        help="execution engine for simulated points (sets REPRO_ENGINE, so "
+        "worker processes inherit it; results are engine-independent)",
+    )
+    sweep.add_argument(
         "--store", default=None, metavar="DIR",
         help="result store directory (default benchmarks/results/cache, "
         "or $REPRO_RESULT_STORE)",
@@ -220,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--no-cache", action="store_true",
         help="ignore stored results (fresh results are still recorded)",
+    )
+    report.add_argument(
+        "--engine", dest="report_engine", choices=EXECUTION_ENGINES, default=None,
+        help="execution engine for missing points (sets REPRO_ENGINE; "
+        "figures are engine-independent)",
     )
     report.add_argument(
         "--store", default=None, metavar="DIR",
@@ -288,6 +304,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", dest="perf_out", default=None, metavar="FILE",
         help="output path (default BENCH_perf.json at the repo root)",
     )
+    perf.add_argument(
+        "--engine", dest="perf_engine",
+        choices=EXECUTION_ENGINES + ("both",), default=None,
+        help="execution engine to benchmark, or 'both' for a side-by-side "
+        "engine comparison (default interp)",
+    )
+    perf.add_argument(
+        "--history", dest="perf_history", default=None, metavar="FILE",
+        help="append-only run log (default BENCH_history.jsonl at the repo "
+        "root; one JSONL record per engine/design measured)",
+    )
 
     store = commands.add_parser(
         "store",
@@ -337,7 +364,7 @@ def _run_single(args) -> int:
         page_size=args.page_size,
         **cache_kwargs,
     )
-    result = Simulator(config).run()
+    result = Simulator(config, engine=args.engine).run()
 
     rows = [
         ("miss ratio", percent(result.miss_ratio)),
@@ -356,7 +383,7 @@ def _run_single(args) -> int:
             args.workload, "baseline", args.capacity,
             scale=args.scale, num_requests=args.requests, seed=args.seed,
         )
-        baseline = Simulator(baseline_config).run()
+        baseline = Simulator(baseline_config, engine=args.engine).run()
         rows.append(("improvement over baseline", percent(result.improvement_over(baseline))))
 
     title = (
@@ -419,6 +446,11 @@ def _run_sweep(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     store = ResultStore(args.store)
+    if args.sweep_engine is not None:
+        # Via the environment rather than the point: the engine is
+        # byte-parity-gated (cannot change results), so it is not part
+        # of any experiment key — and worker processes inherit it.
+        os.environ["REPRO_ENGINE"] = args.sweep_engine
 
     def progress(tick) -> None:
         status = "hit" if tick.cached else "run"
@@ -481,14 +513,15 @@ def _run_report(args) -> int:
     # Imported lazily: the registry builds every figure's spec on import.
     # Plugins load first so they can register designs, profiles — and
     # figures, which then render like any built-in deliverable.
-    import os
-
     try:
         load_plugins(tuple(args.plugin or ()))
         backend = make_backend(args.backend, jobs=args.jobs)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.report_engine is not None:
+        # Engine-independent by the byte-parity gate; see `sweep --engine`.
+        os.environ["REPRO_ENGINE"] = args.report_engine
 
     from repro.exp.store import default_results_dir
     from repro.reporting import figure_names, get_figure, run_figure, write_artifacts
@@ -575,6 +608,7 @@ def _run_perf(args) -> int:
         DEFAULT_REQUESTS,
         QUICK_REPEATS,
         QUICK_REQUESTS,
+        append_history,
         run_bench,
         write_bench,
     )
@@ -621,12 +655,15 @@ def _run_perf(args) -> int:
             num_requests=requests,
             seed=args.perf_seed,
             repeats=repeats,
+            engine=args.perf_engine,
         )
-    except ValueError as error:
+    except (RuntimeError, ValueError) as error:
+        # RuntimeError: engine='vector' on a NumPy-free interpreter.
         print(f"error: {error}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started
     path = write_bench(payload, args.perf_out)
+    history_path = append_history(payload, args.perf_history)
 
     generation = payload["trace_generation"]
     rows = [
@@ -644,13 +681,34 @@ def _run_perf(args) -> int:
                 f"{bench['warm_requests_per_second']:,.0f}/s",
             )
         )
+    engine_label = payload["protocol"]["engine"]
     print(
         format_table(
             ("stage", "cold trace cache", "warm trace cache"),
             rows,
-            title=f"Hot-path throughput ({requests} requests, best of {repeats})",
+            title=f"Hot-path throughput ({requests} requests, best of "
+            f"{repeats}, engine {engine_label})",
         )
     )
+    comparison = payload.get("engine_comparison")
+    if comparison:
+        comparison_rows = [
+            (
+                design,
+                f"{row['interp_warm_requests_per_second']:,.0f}/s",
+                f"{row['vector_warm_requests_per_second']:,.0f}/s",
+                f"{row['vector_speedup']:.2f}x" if "vector_speedup" in row else "-",
+            )
+            for design, row in comparison.items()
+        ]
+        print()
+        print(
+            format_table(
+                ("design", "interp warm", "vector warm", "vector speedup"),
+                comparison_rows,
+                title="Engine comparison (warm replay)",
+            )
+        )
     headline = payload.get("headline")
     if headline and "speedup_vs_pre_pr" in headline:
         print(
@@ -661,6 +719,7 @@ def _run_perf(args) -> int:
             f"{headline['pre_pr_commit']})"
         )
     print(f"bench report written to {path} ({elapsed:.1f}s)")
+    print(f"history appended to {history_path}")
     return 0
 
 

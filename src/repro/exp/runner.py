@@ -12,6 +12,7 @@ the parent process writes to the store, whatever the backend.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -40,8 +41,16 @@ def run_point(point: ExperimentPoint) -> SimulationResult:
 
     The single simulation entry every backend funnels through (looked
     up late, as ``runner.run_point``, so tests can monkeypatch it).
+
+    ``REPRO_ENGINE`` selects the execution engine for every point —
+    an environment variable rather than a point field because the
+    engine is byte-parity-gated: it cannot change any result, so it is
+    not part of the experiment key and never reaches the store.  The
+    variable also propagates to process-pool and sharded workers for
+    free.
     """
-    return Simulator(point.config()).run()
+    engine = os.environ.get("REPRO_ENGINE") or None
+    return Simulator(point.config(), engine=engine).run()
 
 
 @dataclass(frozen=True)

@@ -29,17 +29,24 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.config import SimulationConfig
+from repro.sim.config import EXECUTION_ENGINES, SimulationConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.cloudsuite import make_workload
 from repro.workloads.trace import shared_trace_cache
 
 BENCH_FILENAME = "BENCH_perf.json"
+HISTORY_FILENAME = "BENCH_history.jsonl"
 BASELINE_FILENAME = os.path.join("benchmarks", "perf_baseline.json")
 SCHEMA = "repro-perf-bench/1"
+HISTORY_SCHEMA = "repro-perf-history/1"
+
+# Engine choices for the bench: a concrete engine, or "both" to measure
+# the same protocol under every engine and report the comparison.
+BENCH_ENGINES: Tuple[str, ...] = EXECUTION_ENGINES + ("both",)
 
 # The repo checkout this package lives in (src/repro/perf/ -> repo root).
 # An installed package has no benchmarks/ tree there; fall back to the
@@ -60,6 +67,49 @@ HEADLINE_DESIGN = "footprint"
 def default_output_path() -> str:
     """Where ``python -m repro perf`` writes: ``BENCH_perf.json`` at the root."""
     return os.path.join(_REPO_ROOT, BENCH_FILENAME)
+
+
+def default_history_path() -> str:
+    """The append-only run log: ``BENCH_history.jsonl`` at the repo root."""
+    return os.path.join(_REPO_ROOT, HISTORY_FILENAME)
+
+
+def git_commit() -> Optional[str]:
+    """The checkout's HEAD commit hash, or None outside a git repo.
+
+    Recorded in the report and in every history record so a measurement
+    is always attributable to the exact code that produced it.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT or None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    commit = proc.stdout.strip()
+    return commit or None
+
+
+def cpu_model() -> Optional[str]:
+    """The CPU model string (``/proc/cpuinfo`` where available).
+
+    Throughput numbers are meaningless without the silicon they ran on;
+    ``platform.processor()`` is the cross-platform fallback.
+    """
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
 
 
 def load_baseline() -> Optional[Dict[str, Any]]:
@@ -145,6 +195,7 @@ def measure_replay(
     num_requests: int,
     seed: int = 0,
     repeats: int = DEFAULT_REPEATS,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """End-to-end ``Simulator.run()`` throughput, cold and warm.
 
@@ -152,16 +203,18 @@ def measure_replay(
     includes trace generation — the pre-PR engine paid this cost on
     every single point.  *Warm* replays with the trace already
     materialised — the steady state of every multi-design sweep.
+    ``engine`` selects the execution engine (byte-parity-gated, so it
+    changes throughput and nothing else).
     """
     config = _bench_config(design, workload, capacity_mb, num_requests, seed)
     cache = shared_trace_cache()
 
     def run_cold() -> None:
         cache.clear()
-        Simulator(config).run()
+        Simulator(config, engine=engine).run()
 
     def run_warm() -> None:
-        Simulator(config).run()
+        Simulator(config, engine=engine).run()
 
     # Both columns use the same best-of-``repeats`` protocol; each cold
     # run clears the trace cache first, so every repeat pays generation.
@@ -171,6 +224,7 @@ def measure_replay(
     warm_seconds = _best_of(repeats, run_warm)
     return {
         "design": design,
+        "engine": engine or "interp",
         "requests": num_requests,
         "cold_seconds": round(cold_seconds, 4),
         "cold_requests_per_second": round(num_requests / cold_seconds, 1),
@@ -186,22 +240,47 @@ def run_bench(
     num_requests: int = DEFAULT_REQUESTS,
     seed: int = 0,
     repeats: int = DEFAULT_REPEATS,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run the full benchmark suite and assemble the report payload."""
+    """Run the full benchmark suite and assemble the report payload.
+
+    ``engine`` is a concrete engine name or ``"both"``, which measures
+    every design under every engine and adds an ``engine_comparison``
+    section (per-design warm throughput side by side, plus the vector
+    speedup).  The report's ``designs`` section always holds the primary
+    engine's numbers: the requested engine, or — under ``"both"`` — the
+    last engine measured ("vector"), matching what the headline claims.
+    """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
     if not designs:
         raise ValueError("designs must not be empty")
+    engine = engine or "interp"
+    if engine not in BENCH_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; one of {', '.join(BENCH_ENGINES)}"
+        )
+    engines = EXECUTION_ENGINES if engine == "both" else (engine,)
     generation = measure_generation(
         _bench_config(designs[0], workload, capacity_mb, num_requests, seed),
         repeats=repeats,
     )
-    measurements = {
-        design: measure_replay(
-            design, workload, capacity_mb, num_requests, seed=seed, repeats=repeats
-        )
-        for design in designs
-    }
+    by_engine: Dict[str, Dict[str, Any]] = {}
+    for engine_name in engines:
+        by_engine[engine_name] = {
+            design: measure_replay(
+                design,
+                workload,
+                capacity_mb,
+                num_requests,
+                seed=seed,
+                repeats=repeats,
+                engine=engine_name,
+            )
+            for design in designs
+        }
+    primary = engines[-1]
+    measurements = by_engine[primary]
 
     payload: Dict[str, Any] = {
         "schema": SCHEMA,
@@ -212,21 +291,41 @@ def run_bench(
             "num_requests": num_requests,
             "seed": seed,
             "repeats": repeats,
+            "engine": engine,
             "metric": "end-to-end Simulator.run() requests/sec, best of repeats",
         },
         "environment": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "commit": git_commit(),
+            "cpu": cpu_model(),
         },
         "trace_generation": generation,
         "designs": measurements,
     }
+
+    if len(engines) > 1:
+        comparison: Dict[str, Any] = {}
+        for design in designs:
+            row = {
+                f"{engine_name}_warm_requests_per_second": by_engine[engine_name][
+                    design
+                ]["warm_requests_per_second"]
+                for engine_name in engines
+            }
+            interp_rps = by_engine["interp"][design]["warm_requests_per_second"]
+            vector_rps = by_engine["vector"][design]["warm_requests_per_second"]
+            if interp_rps > 0:
+                row["vector_speedup"] = round(vector_rps / interp_rps, 2)
+            comparison[design] = row
+        payload["engine_comparison"] = comparison
 
     headline = measurements.get(HEADLINE_DESIGN)
     baseline = load_baseline()
     if headline is not None:
         summary: Dict[str, Any] = {
             "design": HEADLINE_DESIGN,
+            "engine": primary,
             "warm_requests_per_second": headline["warm_requests_per_second"],
             "cold_requests_per_second": headline["cold_requests_per_second"],
         }
@@ -240,6 +339,77 @@ def run_bench(
                 )
         payload["headline"] = summary
     return payload
+
+
+def history_records(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten a bench payload into per-(engine, design) history records.
+
+    One compact record per measured engine/design pair, carrying enough
+    protocol and environment context to be compared across commits
+    (see ``tools/check_perf_history.py``).
+    """
+    protocol = payload.get("protocol", {})
+    environment = payload.get("environment", {})
+    base = {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": round(time.time(), 3),
+        "commit": environment.get("commit"),
+        "cpu": environment.get("cpu"),
+        "python": environment.get("python"),
+        "workload": protocol.get("workload"),
+        "capacity_mb": protocol.get("capacity_mb"),
+        "num_requests": protocol.get("num_requests"),
+        "seed": protocol.get("seed"),
+        "repeats": protocol.get("repeats"),
+    }
+    records = []
+    for design, bench in payload.get("designs", {}).items():
+        records.append(
+            {
+                **base,
+                "engine": bench.get("engine", "interp"),
+                "design": design,
+                "warm_requests_per_second": bench["warm_requests_per_second"],
+                "cold_requests_per_second": bench["cold_requests_per_second"],
+            }
+        )
+    # Under --engine both the designs section holds only the primary
+    # engine; recover the other engines' warm numbers from the
+    # comparison so the history sees every measurement.
+    for design, row in payload.get("engine_comparison", {}).items():
+        primary = payload["designs"].get(design, {}).get("engine")
+        for key, value in row.items():
+            if not key.endswith("_warm_requests_per_second"):
+                continue
+            engine_name = key[: -len("_warm_requests_per_second")]
+            if engine_name == primary:
+                continue
+            records.append(
+                {
+                    **base,
+                    "engine": engine_name,
+                    "design": design,
+                    "warm_requests_per_second": value,
+                }
+            )
+    return records
+
+
+def append_history(payload: Dict[str, Any], path: Optional[str] = None) -> str:
+    """Append the payload's history records to the run log (JSONL).
+
+    Append-only by design: the log accumulates one line per measurement
+    across commits, so regressions are visible as a time series rather
+    than a diff.  Returns the path written.
+    """
+    path = path or default_history_path()
+    lines = [
+        json.dumps(record, sort_keys=True) for record in history_records(payload)
+    ]
+    with open(path, "a") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return path
 
 
 def write_bench(payload: Dict[str, Any], path: Optional[str] = None) -> str:

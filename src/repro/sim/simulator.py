@@ -16,7 +16,7 @@ from repro.caches.base import DramCache
 from repro.core.footprint_cache import FootprintCache
 from repro.mem.request import BLOCK_SIZE, MemoryRequest
 from repro.perf.timing_model import PerformanceModel, PerformanceResult
-from repro.sim.config import SimulationConfig
+from repro.sim.config import EXECUTION_ENGINES, SimulationConfig
 from repro.sim.system import System, build_system
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.trace import max_cached_requests, shared_trace_cache
@@ -110,8 +110,21 @@ class SimulationResult:
 class Simulator:
     """Run one :class:`SimulationConfig` to completion."""
 
-    def __init__(self, config: SimulationConfig, system: Optional[System] = None) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        system: Optional[System] = None,
+        engine: Optional[str] = None,
+    ) -> None:
         self.config = config
+        # The engine argument overrides the config's; both select *how*
+        # the replay executes, never what it computes — the vector engine
+        # is byte-parity-gated against the scalar loop.
+        self.engine = engine or config.engine
+        if self.engine not in EXECUTION_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; one of {EXECUTION_ENGINES}"
+            )
         # A system the simulator built itself has a pristine workload
         # generator, so replays can be served from the shared trace cache
         # with exact continuation semantics; an externally built system
@@ -167,8 +180,19 @@ class Simulator:
 
         With an explicit trace, ``config.num_requests`` still bounds how
         many requests are consumed and the warm-up split applies the same
+        way.  ``engine="vector"`` dispatches to the NumPy batch kernels
+        (:mod:`repro.vector`); designs or configurations without a kernel
+        fall back to the scalar loop, so the result is identical either
         way.
         """
+        if self.engine == "vector":
+            from repro.vector import run_vector
+
+            return run_vector(self, trace)
+        return self._run_interp(trace)
+
+    def _run_interp(self, trace: Optional[Sequence[MemoryRequest]] = None) -> SimulationResult:
+        """The scalar reference loop (``engine="interp"``)."""
         # Requests enter at the system's frontend: the DRAM cache itself,
         # or the extra-L2 slice in front of it (Section 6.3).  Statistics
         # are summarised at the DRAM cache level either way.
@@ -273,6 +297,7 @@ def quick_run(
     scale: int = 256,
     num_requests: int = 60_000,
     seed: int = 0,
+    engine: Optional[str] = None,
     **cache_kwargs,
 ) -> SimulationResult:
     """One-call experiment: build, run, summarise.
@@ -290,4 +315,4 @@ def quick_run(
         seed=seed,
         **cache_kwargs,
     )
-    return Simulator(config).run()
+    return Simulator(config, engine=engine).run()

@@ -1,0 +1,52 @@
+"""Zero-copy NumPy views over :class:`repro.workloads.trace.Trace` columns.
+
+A :class:`Trace` already stores the five request fields as parallel
+``array`` columns; ``np.frombuffer`` exposes a segment of each column as
+a NumPy view without copying.  Views pin the underlying buffers (an
+``array`` cannot grow while exported), so the engine creates them one
+segment at a time and drops them before the trace can be extended again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# array typecode -> NumPy dtype of the five Trace columns.
+_DTYPES = {"q": np.int64, "b": np.int8, "h": np.int16}
+
+
+class TraceColumns:
+    """One trace segment as five parallel NumPy arrays (read-only views)."""
+
+    __slots__ = ("addresses", "pcs", "writes", "core_ids", "instruction_counts")
+
+    def __init__(self, addresses, pcs, writes, core_ids, instruction_counts) -> None:
+        self.addresses = addresses
+        self.pcs = pcs
+        self.writes = writes
+        self.core_ids = core_ids
+        self.instruction_counts = instruction_counts
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+def _view(column, start: int, stop: int):
+    dtype = _DTYPES[column.typecode]
+    count = stop - start
+    if count <= 0:
+        # No buffer export for empty segments (nothing to pin).
+        return np.empty(0, dtype=dtype)
+    return np.frombuffer(column, dtype=dtype, count=count, offset=start * column.itemsize)
+
+
+def trace_segment(trace, start: int, stop: int) -> TraceColumns:
+    """Columns of ``trace[start:stop)`` as zero-copy views."""
+    stop = min(stop, len(trace.addresses))
+    return TraceColumns(
+        _view(trace.addresses, start, stop),
+        _view(trace.pcs, start, stop),
+        _view(trace.writes, start, stop),
+        _view(trace.core_ids, start, stop),
+        _view(trace.instruction_counts, start, stop),
+    )

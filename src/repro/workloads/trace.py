@@ -331,6 +331,45 @@ class TraceCache:
                 self._entries.popitem(last=False)
             return served
 
+    def columnar(
+        self,
+        profile: WorkloadProfile,
+        seed: int,
+        page_size: int,
+        num_requests: int,
+        start: int = 0,
+        block_size: int = 64,
+    ) -> Trace:
+        """The columnar trace backing stream ``[0, start + num_requests)``.
+
+        Same keying, hit/miss accounting, extension and eviction budget as
+        :meth:`requests`, but without materialising request *objects*: the
+        vector engine reads the columns directly (zero-copy NumPy views),
+        so serving it must not pay the ~250B/request object cost.  The
+        returned :class:`Trace` is the live cache entry's — callers must
+        treat it as read-only and drop any buffer views before the entry
+        is extended again (NumPy views pin ``array`` buffers).
+        """
+        if num_requests < 0 or start < 0:
+            raise ValueError("start and num_requests must be non-negative")
+        with self._lock:
+            if self.max_entries == 0:
+                self.misses += 1
+                workload = SyntheticWorkload(
+                    profile, seed=seed, page_size=page_size, block_size=block_size
+                )
+                return Trace.from_requests(workload.requests(start + num_requests))
+            entry = self._entry(profile, seed, page_size, block_size)
+            entry.extend_to(start + num_requests)
+            trace = entry.trace
+            # Columnar bytes are an order of magnitude cheaper than
+            # request objects, but the budget still applies: continuation
+            # growth is unbounded otherwise.  The caller keeps its trace
+            # reference even if the entry is evicted here.
+            while self._entries and self.cached_requests > self.max_total_requests:
+                self._entries.popitem(last=False)
+            return trace
+
     def trace(
         self,
         profile: WorkloadProfile,

@@ -69,14 +69,18 @@ class TestPerfCli:
 
     def test_end_to_end(self, tmp_path, capsys):
         out = tmp_path / "BENCH_perf.json"
+        history = tmp_path / "BENCH_history.jsonl"
         code = main([
             "perf", "--designs", "footprint", "--requests", "2000",
-            "--repeats", "1", "--out", str(out),
+            "--repeats", "1", "--out", str(out), "--history", str(history),
         ])
         assert code == 0
         stdout = capsys.readouterr().out
         assert "warm trace cache" in stdout
         assert "bench report written" in stdout
+        assert "history appended" in stdout
         payload = json.loads(out.read_text())
         assert "footprint" in payload["designs"]
         assert "speedup_vs_pre_pr" in payload["headline"]
+        records = [json.loads(line) for line in history.read_text().splitlines()]
+        assert [r["design"] for r in records] == ["footprint"]

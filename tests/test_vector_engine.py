@@ -1,0 +1,354 @@
+"""Byte-parity gate for ``engine="vector"``.
+
+The vector engine's contract is absolute: it may not change a single
+stored byte.  These tests enforce it the strong way — full
+``SimulationResult.to_dict()`` and ``StatGroup.as_dict()`` equality plus
+deep post-run state comparison (controller counters and energies, bank
+row/busy state, tag contents *and LRU orders*, predictor tables) for
+every registered design, across workload profiles and seeds, including
+randomized traces.  Plus the edge cases that historically break
+segmented replay: empty segments, single requests, warm-up boundaries
+landing exactly on segment edges, and continuation runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.caches.registry import design_names
+from repro.mem.request import AccessType, MemoryRequest
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator
+from repro.vector import HAS_NUMPY
+import repro.vector.engine as vector_engine
+
+
+def small_config(profile="web_search", design="footprint", seed=0, requests=12_000):
+    return SimulationConfig.scaled(
+        profile, design, 256, scale=256, num_requests=requests, seed=seed
+    )
+
+
+def state_snapshot(sim):
+    """Every observable post-run state of the simulated system."""
+    cache = sim.system.cache
+    snap = {"stats": dict(sorted(cache.stats.as_dict().items()))}
+    for name in ("stacked", "offchip"):
+        controller = getattr(cache, name, None)
+        if controller is None:
+            continue
+        snap[name] = {
+            "access": controller.access_count,
+            "rowhit": controller.row_hit_count,
+            "busy": controller.busy_cpu_cycles,
+            "bytes": (controller.bytes_read, controller.bytes_written),
+            "energy": (
+                controller.energy.activate_precharge_nj,
+                controller.energy.read_nj,
+                controller.energy.write_nj,
+            ),
+            "banks": [
+                (bank._open_row, bank.busy_until, bank.activate_count,
+                 bank.precharge_count)
+                for channel in controller._banks
+                for bank in channel
+            ],
+        }
+    sram = None
+    if hasattr(cache, "tags") and hasattr(cache.tags, "_tags"):
+        sram = cache.tags._tags
+    elif hasattr(cache, "_tags"):
+        sram = cache._tags
+    if sram is not None:
+        snap["tags"] = [
+            (sorted((key, repr(value)) for key, value in entries.items()),
+             list(policy._order))
+            for entries, policy in zip(sram._entries, sram._policies)
+        ]
+    fht = getattr(cache, "fht", None)
+    if fht is not None:
+        snap["fht"] = (
+            (fht.lookups, fht.hits, fht.updates, fht.stale_updates),
+            [
+                (sorted((k, v.footprint_mask) for k, v in entries.items()),
+                 list(policy._order))
+                for entries, policy in zip(
+                    fht._table._entries, fht._table._policies
+                )
+            ],
+        )
+        stats = cache.predictor_stats
+        snap["predictor"] = (
+            stats.covered_blocks,
+            stats.underpredicted_blocks,
+            stats.overpredicted_blocks,
+        )
+    singleton = getattr(cache, "singleton_table", None)
+    if singleton is not None:
+        snap["singleton"] = (
+            (singleton.recorded, singleton.second_access_hits),
+            [
+                (sorted((k, (v.pc, v.offset)) for k, v in entries.items()),
+                 list(policy._order))
+                for entries, policy in zip(
+                    singleton._table._entries, singleton._table._policies
+                )
+            ],
+        )
+    snap["core_time"] = list(sim.perf._core_time)
+    return snap
+
+
+def run_both(config, trace=None):
+    """(interp result+state, vector result+state) for one config."""
+    outcomes = []
+    for engine in ("interp", "vector"):
+        sim = Simulator(config, engine=engine)
+        result = sim.run(trace=trace)
+        outcomes.append((result.to_dict(), state_snapshot(sim)))
+    return outcomes
+
+
+def assert_parity(config, trace=None):
+    (interp_result, interp_state), (vector_result, vector_state) = run_both(
+        config, trace=trace
+    )
+    assert interp_result == vector_result
+    assert interp_state == vector_state
+
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+
+
+@needs_numpy
+class TestEquivalenceEveryDesign:
+    """The gate itself: every design, multiple profiles and seeds."""
+
+    @pytest.mark.parametrize("design", design_names())
+    @pytest.mark.parametrize("profile", ("web_search", "data_serving"))
+    def test_design_profile_parity(self, design, profile):
+        assert_parity(small_config(profile=profile, design=design))
+
+    @pytest.mark.parametrize("seed", (1, 7, 42))
+    def test_randomized_seeds_footprint(self, seed):
+        assert_parity(small_config(design="footprint", seed=seed))
+
+    @pytest.mark.parametrize("design", ("page", "baseline"))
+    def test_randomized_seeds_other_kernels(self, design):
+        assert_parity(small_config(design=design, seed=3))
+
+
+@needs_numpy
+class TestSegmentEdges:
+    def test_empty_trace(self):
+        assert_parity(small_config(), trace=[])
+
+    def test_single_request(self):
+        trace = [MemoryRequest(address=0x1000, pc=0x400, core_id=0)]
+        assert_parity(small_config(), trace=trace)
+
+    def test_tiny_segments_split_runs(self, monkeypatch):
+        # A prime segment size forces run boundaries everywhere: inside
+        # the warm-up, at the warm-up edge, and at the trace tail.
+        monkeypatch.setattr(vector_engine, "SEGMENT_REQUESTS", 257)
+        assert_parity(small_config(requests=3_000))
+
+    def test_warmup_exactly_at_segment_edge(self, monkeypatch):
+        # num_requests = 4 segments, warm-up = 2 segments: the stats
+        # reset lands precisely on a segment boundary.
+        monkeypatch.setattr(vector_engine, "SEGMENT_REQUESTS", 500)
+        assert_parity(small_config(requests=2_000))
+
+    def test_trace_ends_at_warmup_boundary(self):
+        # A trace exactly as long as the warm-up: zero measured requests
+        # in the reference; the vector engine must agree.
+        config = small_config(requests=2_000)
+        trace = [
+            MemoryRequest(address=(i % 64) * 2048, pc=0x400, core_id=i % 16)
+            for i in range(config.warmup_requests)
+        ]
+        assert_parity(config, trace=trace)
+
+    def test_continuation_run_parity(self):
+        # Two back-to-back run() calls on one Simulator continue the
+        # same request stream; the second run must match per engine.
+        results = {}
+        for engine in ("interp", "vector"):
+            sim = Simulator(small_config(requests=6_000), engine=engine)
+            sim.run()
+            results[engine] = sim.run().to_dict()
+        assert results["interp"] == results["vector"]
+
+    def test_trace_can_grow_after_vector_run(self):
+        # Segment views pin the trace's columnar buffers; the engine
+        # must drop them so the shared cache can keep materialising.
+        config = small_config(requests=4_000)
+        sim = Simulator(config, engine="vector")
+        sim.run()
+        sim.run()  # continuation extends the cached trace in place
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator(small_config(), engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            dataclasses.replace(small_config(), engine="warp")
+
+    def test_engine_excluded_from_config_identity(self):
+        interp = small_config()
+        vector = dataclasses.replace(interp, engine="vector")
+        assert interp == vector
+        assert hash(interp) == hash(vector)
+        assert "engine" not in interp.to_dict()
+        assert "engine" not in vector.to_dict()
+
+    def test_runner_honours_repro_engine(self, monkeypatch):
+        from repro.exp import runner as runner_module
+        from repro.exp.spec import ExperimentPoint
+
+        seen = {}
+        real = runner_module.Simulator
+
+        def recording(config, engine=None):
+            seen["engine"] = engine
+            return real(config, engine=engine)
+
+        monkeypatch.setattr(runner_module, "Simulator", recording)
+        point = ExperimentPoint(
+            workload="web_search", design="baseline", capacity_mb=256,
+            num_requests=500, scale=256,
+        )
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        runner_module.run_point(point)
+        assert seen["engine"] is None
+        if HAS_NUMPY:
+            monkeypatch.setenv("REPRO_ENGINE", "vector")
+            runner_module.run_point(point)
+            assert seen["engine"] == "vector"
+
+
+class TestWithoutNumpy:
+    """The default engine must work on a NumPy-free interpreter."""
+
+    BLOCKER = (
+        "import sys\n"
+        "class _Block:\n"
+        "    def find_spec(self, name, path=None, target=None):\n"
+        "        if name == 'numpy' or name.startswith('numpy.'):\n"
+        "            raise ImportError('numpy blocked for test')\n"
+        "        return None\n"
+        "sys.meta_path.insert(0, _Block())\n"
+        "for mod in list(sys.modules):\n"
+        "    if mod == 'numpy' or mod.startswith('numpy.'):\n"
+        "        del sys.modules[mod]\n"
+    )
+
+    def _run(self, body):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.run(
+            [sys.executable, "-c", self.BLOCKER + body],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+
+    def test_interp_engine_runs_without_numpy(self):
+        proc = self._run(
+            "from repro.sim.simulator import quick_run\n"
+            "result = quick_run('web_search', design='footprint',"
+            " num_requests=2000)\n"
+            "print(result.miss_ratio >= 0)\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "True" in proc.stdout
+
+    def test_vector_engine_raises_without_numpy(self):
+        proc = self._run(
+            "from repro.sim.simulator import quick_run\n"
+            "try:\n"
+            "    quick_run('web_search', num_requests=2000, engine='vector')\n"
+            "except RuntimeError as error:\n"
+            "    print('RAISED', error)\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RAISED" in proc.stdout
+        assert "requires NumPy" in proc.stdout
+
+
+@needs_numpy
+class TestZipfFallbackParity:
+    """The pure-Python CDF must match the NumPy one to pow's rounding."""
+
+    @pytest.mark.parametrize("alpha", (0.0, 0.6, 0.99, 1.2))
+    def test_cdf_matches_numpy(self, monkeypatch, alpha):
+        from repro.workloads import synthetic
+
+        numpy_cdf = synthetic._ZipfSampler._build_cdf(1000, alpha)
+        monkeypatch.setattr(synthetic, "np", None)
+        python_cdf = synthetic._ZipfSampler._build_cdf(1000, alpha)
+        # NumPy's vectorised pow and libm's may round differently in the
+        # last ulp; anything beyond that is a real divergence.
+        assert [float(v) for v in numpy_cdf] == pytest.approx(
+            python_cdf, rel=1e-13
+        )
+        assert python_cdf[-1] == 1.0 or python_cdf[-1] == pytest.approx(1.0)
+
+    def test_sample_agrees(self, monkeypatch):
+        from repro.workloads import synthetic
+
+        synthetic._ZipfSampler._cache.clear()
+        with_numpy = synthetic._ZipfSampler(257, 0.8)
+        draws = [i / 97.0 % 1.0 for i in range(97)]
+        numpy_samples = [with_numpy.sample(u) for u in draws]
+        monkeypatch.setattr(synthetic, "np", None)
+        synthetic._ZipfSampler._cache.clear()
+        without = synthetic._ZipfSampler(257, 0.8)
+        assert [without.sample(u) for u in draws] == numpy_samples
+        synthetic._ZipfSampler._cache.clear()
+
+
+class TestPerfHistory:
+    def test_append_history_records(self, tmp_path):
+        from repro.perf.bench import HISTORY_SCHEMA, append_history
+
+        payload = {
+            "protocol": {
+                "workload": "web_search", "capacity_mb": 256,
+                "num_requests": 1000, "seed": 0, "repeats": 1,
+                "engine": "both",
+            },
+            "environment": {"commit": "abc123", "cpu": "TestCPU", "python": "3"},
+            "designs": {
+                "footprint": {
+                    "engine": "vector",
+                    "warm_requests_per_second": 500000.0,
+                    "cold_requests_per_second": 250000.0,
+                },
+            },
+            "engine_comparison": {
+                "footprint": {
+                    "interp_warm_requests_per_second": 150000.0,
+                    "vector_warm_requests_per_second": 500000.0,
+                    "vector_speedup": 3.33,
+                },
+            },
+        }
+        path = tmp_path / "history.jsonl"
+        append_history(payload, str(path))
+        append_history(payload, str(path))  # append-only: grows, never rewrites
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 4
+        assert all(r["schema"] == HISTORY_SCHEMA for r in records)
+        engines = {(r["engine"], r["design"]) for r in records}
+        assert engines == {("vector", "footprint"), ("interp", "footprint")}
+        vector = next(r for r in records if r["engine"] == "vector")
+        assert vector["commit"] == "abc123"
+        assert vector["cpu"] == "TestCPU"
+        assert vector["warm_requests_per_second"] == 500000.0

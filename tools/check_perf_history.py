@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Perf regression gate: fresh bench numbers vs the checked-in history.
+
+Compares the warm-replay throughput of a fresh ``python -m repro perf``
+run (its ``--history`` JSONL output) against the last matching record in
+the committed ``BENCH_history.jsonl`` (read via ``git show`` so a dirty
+working tree cannot fool the gate).  A record matches on (engine,
+design); among matches, one with the same request count is preferred —
+CI's ``--quick`` runs are shorter than the checked-in full protocol, and
+throughput is only roughly comparable across lengths.
+
+Thresholds are deliberately loose: CI machines are noisy and unlike the
+machine that recorded the history, so the gate only *fails* on a
+catastrophic drop (fresh < 25% of recorded — the signature of the fast
+path silently disengaging) and *warns* below 75%.  Override the failure
+ratio with ``REPRO_PERF_REGRESSION_THRESHOLD``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HISTORY_FILE = "BENCH_history.jsonl"
+DEFAULT_FAIL_RATIO = 0.25
+WARN_RATIO = 0.75
+
+
+def parse_records(text: str, source: str):
+    """JSONL history records, skipping torn/foreign lines with a note."""
+    records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"note: {source}:{number}: skipping unparsable line")
+            continue
+        if isinstance(record, dict) and "warm_requests_per_second" in record:
+            records.append(record)
+    return records
+
+
+def committed_history(ref: str):
+    """History records at ``ref``, or None when the file is not committed."""
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"{ref}:{HISTORY_FILE}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return parse_records(proc.stdout, f"{ref}:{HISTORY_FILE}")
+
+
+def last_match(history, fresh):
+    """The most recent committed record comparable to ``fresh``.
+
+    Same engine and design always; same request count when any such
+    record exists (otherwise the latest record of any length, which the
+    caller reports but still compares — a 4x drop dwarfs length effects).
+    """
+    matches = [
+        record
+        for record in history
+        if record.get("engine") == fresh.get("engine")
+        and record.get("design") == fresh.get("design")
+    ]
+    if not matches:
+        return None
+    exact = [
+        record
+        for record in matches
+        if record.get("num_requests") == fresh.get("num_requests")
+    ]
+    return (exact or matches)[-1]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", metavar="HISTORY_JSONL",
+        help="history file a fresh `python -m repro perf --history` wrote",
+    )
+    parser.add_argument(
+        "--ref", default="HEAD",
+        help="git ref whose committed history to compare against (default HEAD)",
+    )
+    args = parser.parse_args()
+
+    try:
+        ratio = float(
+            os.environ.get("REPRO_PERF_REGRESSION_THRESHOLD", DEFAULT_FAIL_RATIO)
+        )
+    except ValueError:
+        print("error: REPRO_PERF_REGRESSION_THRESHOLD must be a float")
+        return 2
+    try:
+        with open(args.fresh) as handle:
+            fresh_records = parse_records(handle.read(), args.fresh)
+    except OSError as error:
+        print(f"error: cannot read fresh history: {error}")
+        return 2
+    if not fresh_records:
+        print(f"error: no bench records in {args.fresh}")
+        return 2
+
+    history = committed_history(args.ref)
+    if history is None:
+        print(
+            f"note: no {HISTORY_FILE} at {args.ref}; nothing to compare "
+            "(first recorded run passes by definition)"
+        )
+        return 0
+
+    failures = 0
+    for fresh in fresh_records:
+        engine = fresh.get("engine")
+        design = fresh.get("design")
+        rps = float(fresh["warm_requests_per_second"])
+        recorded = last_match(history, fresh)
+        label = f"{design}/{engine}"
+        if recorded is None:
+            print(f"{label}: {rps:,.0f}/s (no committed record to compare)")
+            continue
+        base = float(recorded["warm_requests_per_second"])
+        if base <= 0:
+            print(f"{label}: committed record has no throughput; skipping")
+            continue
+        fraction = rps / base
+        context = (
+            f"{rps:,.0f}/s vs {base:,.0f}/s at "
+            f"{recorded.get('commit', 'unknown')[:12]} ({fraction:.2f}x)"
+        )
+        if recorded.get("num_requests") != fresh.get("num_requests"):
+            context += (
+                f" [protocol differs: {fresh.get('num_requests')} vs "
+                f"{recorded.get('num_requests')} requests]"
+            )
+        if fraction < ratio:
+            failures += 1
+            print(f"FAIL {label}: {context} — below the {ratio:.2f}x floor")
+        elif fraction < WARN_RATIO:
+            print(f"warn {label}: {context}")
+        else:
+            print(f"ok   {label}: {context}")
+
+    if failures:
+        print(f"\n{failures} perf regression(s) against {args.ref}")
+        return 1
+    print("perf history check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
