@@ -42,6 +42,12 @@ And keep the store itself healthy::
     python -m repro store stats
     python -m repro store compact     # drop stale/orphaned/duplicate records
     python -m repro store gc          # also drop records no figure references
+
+Or serve the whole engine over HTTP — submit spec JSON, poll jobs,
+stream progress, fetch results/figures; warm store points answer
+instantly, misses fan out through the execution backend::
+
+    python -m repro serve --host 0.0.0.0 --port 8000 --workers 2 --jobs 4
 """
 
 from __future__ import annotations
@@ -314,6 +320,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--history", dest="perf_history", default=None, metavar="FILE",
         help="append-only run log (default BENCH_history.jsonl at the repo "
         "root; one JSONL record per engine/design measured)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the sweep engine over HTTP (API + async job queue)",
+        description="Run the simulation service: a versioned HTTP API "
+        "(/api/v1) accepting ExperimentSpec JSON (the --spec file format) "
+        "as asynchronous jobs on a bounded worker pool.  Poll or stream "
+        "per-point progress, cancel between points, fetch results as "
+        "JSON/CSV and rendered figures; the result store is the cache "
+        "tier — warm points answer instantly, misses fan out through the "
+        "execution backend.  The builtin HTTP frontend needs nothing "
+        "beyond the standard library; --http fastapi uses the "
+        "repro[serve] extra (fastapi + uvicorn).",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 in a container)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port (default 8000)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (job-manager pool bound, default 2)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per job for simulated points, like "
+        "'sweep --jobs' (default 1; 0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend for simulated points (default: serial "
+        "for --jobs 1, process otherwise)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory shared with the CLI writers "
+        "(default benchmarks/results/cache, or $REPRO_RESULT_STORE)",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="JSONL job journal for restart visibility (default "
+        "<store>/serve_journal.jsonl; 'none' disables)",
+    )
+    serve.add_argument(
+        "--http", choices=("builtin", "fastapi"), default="builtin",
+        help="HTTP frontend: the zero-dependency builtin server, or the "
+        "FastAPI app under uvicorn (requires the repro[serve] extra)",
+    )
+    serve.add_argument(
+        "--allow-plugins", action="store_true",
+        help="accept specs whose 'plugins' field loads modules into the "
+        "server process (off by default: plugins are arbitrary code)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging",
     )
 
     store = commands.add_parser(
@@ -723,6 +788,45 @@ def _run_perf(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    # Imported lazily: the serve layer pulls in the reporting registry
+    # (for figure jobs) which builds every figure's spec on import.
+    from repro.exp.store import default_store_dir
+    from repro.serve import JobManager, SimulationService
+
+    store_dir = args.store if args.store is not None else default_store_dir()
+    journal = args.journal
+    if journal is None:
+        journal = os.path.join(store_dir, "serve_journal.jsonl")
+    elif journal.lower() == "none":
+        journal = None
+    try:
+        manager = JobManager(
+            store_dir=store_dir,
+            workers=args.workers,
+            jobs=args.jobs,
+            backend=args.backend,
+            journal_path=journal,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service = SimulationService(manager, allow_plugins=args.allow_plugins)
+    if args.http == "fastapi":
+        from repro.serve.fastapi_app import serve_forever
+    else:
+        from repro.serve.httpd import serve_forever
+    try:
+        serve_forever(service, host=args.host, port=args.port,
+                      quiet=args.quiet)
+    except RuntimeError as error:
+        # The fastapi frontend without the repro[serve] extra lands
+        # here with an actionable install hint; the core stays usable.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_store(args) -> int:
     if args.action == "merge":
         return _run_store_merge(args)
@@ -799,6 +903,8 @@ def main(argv=None) -> int:
         return _run_report(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "store":
         return _run_store(args)
     return _run_single(args)

@@ -34,6 +34,7 @@ from repro.exp.backends import (
     make_backend,
     parse_shard,
 )
+from repro.exp.locking import file_lock
 from repro.exp.plugins import load_plugin, load_plugins, merge_plugins
 from repro.exp.runner import (
     SweepProgress,
@@ -77,6 +78,7 @@ __all__ = [
     "SweepRunner",
     "default_requests",
     "default_store_dir",
+    "file_lock",
     "freeze_kwargs",
     "load_plugin",
     "load_plugins",

@@ -75,6 +75,14 @@ class ProcessBackend(SweepBackend):
             initargs=(tuple(plugins),),
         ) as pool:
             futures = [pool.submit(_worker, point) for point in points]
-            for future in as_completed(futures):
-                point, data = future.result()
-                yield point, SimulationResult.from_dict(data)
+            try:
+                for future in as_completed(futures):
+                    point, data = future.result()
+                    yield point, SimulationResult.from_dict(data)
+            finally:
+                # An abandoned generator (a cancelled serve job, a
+                # consumer that raised) must not run the rest of the
+                # sweep: drop every point that has not started; only
+                # in-flight workers run to completion.
+                for future in futures:
+                    future.cancel()

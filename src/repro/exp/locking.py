@@ -1,0 +1,99 @@
+"""Advisory file locking: the cross-process mutex behind store appends.
+
+One writer per store file was an invariant the sweep engine could
+simply assert — the parent sweep process owned the store.  The serve
+layer breaks that assumption: HTTP jobs append from worker threads
+while ``python -m repro sweep`` processes append to the same store from
+the command line.  :func:`file_lock` is the small primitive that makes
+that safe: an exclusive advisory lock on a sidecar ``<file>.lock``,
+held only for the duration of a read-check-append critical section.
+
+The sidecar (rather than the data file itself) keeps the protocol
+orthogonal to how the data file is opened — append handles, atomic
+``os.replace`` rewrites and fresh creations all serialise through the
+same lock file, and a crashed holder releases the lock with its file
+descriptor, so there is nothing to clean up.
+
+Platform shims: ``fcntl.flock`` on POSIX, ``msvcrt.locking`` on
+Windows, and a no-op fallback on exotic platforms with neither (where
+the store degrades to its historical single-writer contract).  Locks
+are per open file description, not per process: two ``ResultStore``
+instances in one process still exclude each other, which is exactly
+what concurrent serve jobs need.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+LOCK_SUFFIX = ".lock"
+
+_lock_fd: Callable[[int], None]
+_unlock_fd: Callable[[int], None]
+
+try:  # POSIX
+    import fcntl
+
+    def _lock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+    def _unlock_fd(fd: int) -> None:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+except ImportError:  # pragma: no cover - Windows
+    try:
+        import msvcrt
+
+        def _lock_fd(fd: int) -> None:
+            # LK_LOCK retries for ~10s then raises; loop for a true
+            # blocking acquire (store critical sections are short).
+            os.lseek(fd, 0, os.SEEK_SET)
+            while True:
+                try:
+                    msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                    return
+                except OSError:
+                    continue
+
+        def _unlock_fd(fd: int) -> None:
+            os.lseek(fd, 0, os.SEEK_SET)
+            msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+
+    except ImportError:  # pragma: no cover - no locking primitive at all
+
+        def _lock_fd(fd: int) -> None:
+            pass
+
+        def _unlock_fd(fd: int) -> None:
+            pass
+
+
+@contextmanager
+def file_lock(path: str) -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``path`` for the block.
+
+    ``path`` is the lock file itself (conventionally
+    ``<data file> + LOCK_SUFFIX``); it is created — along with its
+    directory — if missing, and never deleted: unlink-while-locked is
+    the classic advisory-lock race, and an empty sidecar is cheaper
+    than getting that dance right.
+
+    Blocks until the lock is granted.  Not reentrant: a block that
+    already holds the lock must not re-enter (two acquisitions in one
+    process deadlock just like two processes would — that is the
+    point).
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        _lock_fd(fd)
+        try:
+            yield
+        finally:
+            _unlock_fd(fd)
+    finally:
+        os.close(fd)

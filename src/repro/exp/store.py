@@ -6,12 +6,21 @@ explicit directory).  Each line is one record::
 
     {"key": "<sha256 prefix>", "point": {...}, "result": {...}}
 
-The parent sweep process is the only writer; records are appended, the
-last record for a key wins, and unparseable (torn) lines are skipped on
-load.  Because the key hashes the *resolved* simulation config plus an
-engine-version tag (:meth:`repro.exp.spec.ExperimentPoint.key`), results
-persist across processes and pytest sessions and are invalidated in bulk
-by bumping :data:`repro.exp.spec.ENGINE_VERSION`.
+Records are appended, the last record for a key wins, and unparseable
+(torn) lines are skipped on load.  Because the key hashes the *resolved*
+simulation config plus an engine-version tag
+(:meth:`repro.exp.spec.ExperimentPoint.key`), results persist across
+processes and pytest sessions and are invalidated in bulk by bumping
+:data:`repro.exp.spec.ENGINE_VERSION`.
+
+Writers coordinate: every append happens under an exclusive advisory
+lock on a sidecar ``results.jsonl.lock`` (:mod:`repro.exp.locking`), so
+any number of sweep processes and serve-layer job threads can share one
+store without interleaving bytes or clobbering the torn-tail repair.
+Readers are coherent without the lock: loads remember the file's
+``(mtime, size, inode)`` and transparently reload when another writer
+has appended — a lookup can never serve a record older than the last
+load, only newer ones.
 
 Invalidation leaves dead lines behind: appending never deletes, so an
 engine bump strands every old-version record, a re-run after ``--no-cache``
@@ -37,6 +46,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.exp.locking import LOCK_SUFFIX, file_lock
 from repro.exp.spec import ENGINE_VERSION, ExperimentPoint
 from repro.sim.simulator import SimulationResult
 
@@ -196,6 +206,12 @@ class ResultStore:
     * **Last write wins** — :meth:`put` appends; :meth:`get` serves the
       most recent record for a key.  Appends are atomic at the line
       level on POSIX, and torn lines are skipped on load.
+    * **Concurrent writers are safe** — every append (and the
+      torn-tail check it depends on) runs under an exclusive advisory
+      file lock, so simultaneous writers — sweep processes, serve-layer
+      job threads — never interleave bytes or lose records.  Reads stay
+      lock-free but coherent: a load records the file's stat signature
+      and reloads whenever another writer has changed it.
     * **Engine versioning** — records written under a different
       :data:`~repro.exp.spec.ENGINE_VERSION` hash differently and are
       invisible to lookups; they stay on disk until :meth:`compact`.
@@ -206,12 +222,35 @@ class ResultStore:
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory or default_store_dir()
         self.path = os.path.join(self.directory, STORE_FILENAME)
+        self.lock_path = self.path + LOCK_SUFFIX
         self._index: Optional[Dict[str, Dict[str, Any]]] = None
+        self._loaded_stat: Optional[Tuple[int, int, int]] = None
+
+    def _stat(self) -> Optional[Tuple[int, int, int]]:
+        """The file's change signature: ``(mtime_ns, size, inode)``.
+
+        Any append grows ``size``, any rewrite (:meth:`compact`) swaps
+        the inode — so an unchanged signature means the bytes the last
+        load saw are still exactly what is on disk.  None when the file
+        does not exist.
+        """
+        try:
+            status = os.stat(self.path)
+        except OSError:
+            return None
+        return (status.st_mtime_ns, status.st_size, status.st_ino)
 
     def _load(self) -> Dict[str, Dict[str, Any]]:
-        if self._index is None:
+        """The key -> result index, reloading if the file changed on disk.
+
+        The signature is taken *before* reading, so a write that lands
+        mid-read makes the signature stale and triggers a fresh reload
+        on the next access — reads are never torn, at worst repeated.
+        """
+        stat = self._stat()
+        if self._index is None or stat != self._loaded_stat:
             index: Dict[str, Dict[str, Any]] = {}
-            if os.path.exists(self.path):
+            if stat is not None:
                 with open(self.path) as handle:
                     for line in handle:
                         line = line.strip()
@@ -223,6 +262,7 @@ class ResultStore:
                         except (json.JSONDecodeError, KeyError, TypeError):
                             continue
             self._index = index
+            self._loaded_stat = stat
         return self._index
 
     def get(self, point: ExperimentPoint) -> Optional[SimulationResult]:
@@ -247,11 +287,12 @@ class ResultStore:
         except (OSError, ValueError):  # missing or empty file
             return False
 
-    def _append_lines(self, lines: Iterable[str]) -> None:
-        """The single append protocol: every writer goes through here.
+    def _append_locked(self, lines: Iterable[str]) -> None:
+        """Append ``lines``; the caller must hold :attr:`lock_path`.
 
-        Shared by :meth:`put` and :meth:`merge` so directly-written and
-        shard-merged stores cannot diverge in on-disk format.
+        The torn-tail check and the append are one critical section:
+        checking outside the lock could glue two writers' repairs (or a
+        repair and a record) together.
         """
         os.makedirs(self.directory, exist_ok=True)
         repair = self._tail_missing_newline()
@@ -261,6 +302,17 @@ class ResultStore:
             for line in lines:
                 handle.write(line + "\n")
 
+    def _append_lines(self, lines: Iterable[str]) -> None:
+        """The single append protocol: every writer goes through here.
+
+        Shared by :meth:`put` and :meth:`merge` so directly-written and
+        shard-merged stores cannot diverge in on-disk format.  The
+        advisory lock serialises concurrent writers; torn-tail repair
+        happens inside the same critical section.
+        """
+        with file_lock(self.lock_path):
+            self._append_locked(lines)
+
     def put(self, point: ExperimentPoint, result: SimulationResult) -> None:
         """Persist ``result`` under ``point``'s config hash."""
         record = {
@@ -268,12 +320,22 @@ class ResultStore:
             "point": point.describe(),
             "result": result.to_dict(),
         }
-        self._append_lines([json.dumps(record, sort_keys=True)])
-        self._load()[record["key"]] = record["result"]
+        line = json.dumps(record, sort_keys=True)
+        with file_lock(self.lock_path):
+            # Load-then-append under one lock: the refreshed index picks
+            # up every concurrent writer's records, our append lands
+            # after them, and the post-append signature is taken while
+            # no other writer can slip in — so the cached index stays
+            # exactly the file's content.
+            index = self._load()
+            self._append_locked([line])
+            index[record["key"]] = record["result"]
+            self._loaded_stat = self._stat()
 
     def invalidate(self) -> None:
         """Forget the in-memory index (reload from disk on next access)."""
         self._index = None
+        self._loaded_stat = None
 
     # ------------------------------------------------------------------
     # Maintenance: stats / compact / gc
@@ -353,26 +415,34 @@ class ResultStore:
         referenced: Optional[Set[str]] = (
             None if keep_keys is None else set(keep_keys)
         )
-        bytes_before = os.path.getsize(self.path) if os.path.exists(self.path) else 0
-        entries = self._classify()
-        kept: List[str] = []
-        dropped = {"stale": 0, "orphaned": 0, "duplicate": 0, "torn": 0,
-                   "unreferenced": 0}
-        for raw, kind, key in entries:
-            if kind != "live":
-                dropped[kind] += 1
-            elif referenced is not None and key not in referenced:
-                dropped["unreferenced"] += 1
-            else:
-                kept.append(raw)
+        with file_lock(self.lock_path):
+            # Classify-and-rewrite is one critical section: a record
+            # appended between the read and the replace would be lost.
+            bytes_before = (
+                os.path.getsize(self.path) if os.path.exists(self.path) else 0
+            )
+            entries = self._classify()
+            kept: List[str] = []
+            dropped = {"stale": 0, "orphaned": 0, "duplicate": 0, "torn": 0,
+                       "unreferenced": 0}
+            for raw, kind, key in entries:
+                if kind != "live":
+                    dropped[kind] += 1
+                elif referenced is not None and key not in referenced:
+                    dropped["unreferenced"] += 1
+                else:
+                    kept.append(raw)
 
-        if entries:
-            tmp_path = self.path + ".tmp"
-            with open(tmp_path, "w") as handle:
-                for raw in kept:
-                    handle.write(raw + "\n")
-            os.replace(tmp_path, self.path)
-        self.invalidate()
+            if entries:
+                tmp_path = self.path + ".tmp"
+                with open(tmp_path, "w") as handle:
+                    for raw in kept:
+                        handle.write(raw + "\n")
+                os.replace(tmp_path, self.path)
+            self.invalidate()
+            bytes_after = (
+                os.path.getsize(self.path) if os.path.exists(self.path) else 0
+            )
 
         return CompactionStats(
             kept=len(kept),
@@ -382,7 +452,7 @@ class ResultStore:
             dropped_torn=dropped["torn"],
             dropped_unreferenced=dropped["unreferenced"],
             bytes_before=bytes_before,
-            bytes_after=os.path.getsize(self.path) if os.path.exists(self.path) else 0,
+            bytes_after=bytes_after,
         )
 
     def merge(self, sources: Iterable["ResultStore"]) -> MergeStats:
@@ -409,13 +479,13 @@ class ResultStore:
 
         Merging a store into itself is rejected.
         """
-        combined: Dict[str, str] = {
-            key: raw for raw, kind, key in self._classify() if kind == "live"
-        }
-        appended: List[str] = []
-        conflicts: List[Tuple[str, str]] = []
+        # Source records are collected outside the destination lock
+        # (sources are read-only here); the destination's classify +
+        # conflict check + append run as one locked critical section so
+        # a record appended concurrently can neither be missed by the
+        # conflict scan nor interleaved with the merged lines.
+        source_records: List[Tuple[str, str, str]] = []
         paths: List[str] = []
-        merged = duplicates = 0
         own = os.path.abspath(self.path)
         for source in sources:
             if os.path.abspath(source.path) == own:
@@ -424,8 +494,17 @@ class ResultStore:
                 raise ValueError(f"source store has no results file: {source.path}")
             paths.append(source.path)
             for raw, kind, key in source._classify():
-                if kind != "live":
-                    continue
+                if kind == "live":
+                    source_records.append((raw, key, source.path))
+
+        appended: List[str] = []
+        conflicts: List[Tuple[str, str]] = []
+        merged = duplicates = 0
+        with file_lock(self.lock_path):
+            combined: Dict[str, str] = {
+                key: raw for raw, kind, key in self._classify() if kind == "live"
+            }
+            for raw, key, source_path in source_records:
                 existing = combined.get(key)
                 if existing is None:
                     combined[key] = raw
@@ -434,12 +513,12 @@ class ResultStore:
                 elif existing == raw:
                     duplicates += 1
                 else:
-                    conflicts.append((key, source.path))
-        if conflicts:
-            raise StoreMergeConflict(conflicts)
-        if appended:
-            self._append_lines(appended)
-            self.invalidate()
+                    conflicts.append((key, source_path))
+            if conflicts:
+                raise StoreMergeConflict(conflicts)
+            if appended:
+                self._append_locked(appended)
+                self.invalidate()
         return MergeStats(
             destination=self.path,
             sources=tuple(paths),

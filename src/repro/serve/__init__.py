@@ -1,0 +1,65 @@
+"""Simulation-as-a-service: the HTTP serve layer over the sweep engine.
+
+The subsystem that turns this reproduction into a shared service: a
+versioned HTTP API (``/api/v1``) through which clients submit
+:class:`~repro.exp.spec.ExperimentSpec` JSON (the ``--spec`` round-trip
+format), poll and stream job progress, cancel jobs, and fetch results
+and rendered figures.  The :class:`~repro.exp.store.ResultStore` acts
+as the cache tier in front of the simulator — warm points answer
+instantly, misses fan out through a configurable execution backend —
+and the store's advisory file locking makes HTTP jobs and command-line
+sweeps safe concurrent writers of one store.
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.jobs` — the async job manager: bounded worker
+  pool, ``pending/running/done/failed/cancelled`` states, cooperative
+  between-points cancellation, optional JSONL journal;
+* :mod:`repro.serve.service` — framework-neutral API semantics plus
+  the ``(method, path)`` router both frontends share;
+* :mod:`repro.serve.httpd` — the dependency-free stdlib frontend
+  (``python -m repro serve`` default);
+* :mod:`repro.serve.fastapi_app` — the FastAPI/uvicorn frontend
+  (``pip install 'repro[serve]'``), gated so the core package stays
+  import-clean without it.
+
+Start it from the command line::
+
+    python -m repro serve --host 0.0.0.0 --port 8000 --workers 2 --jobs 4
+
+and drive it with curl — see the README's "Serving" walkthrough.
+"""
+
+from repro.serve.jobs import (
+    Job,
+    JobCancelled,
+    JobManager,
+    JobState,
+    spec_from_payload,
+)
+from repro.serve.service import (
+    API_PREFIX,
+    API_ROUTES,
+    API_VERSION,
+    Response,
+    ServiceError,
+    SimulationService,
+    dispatch,
+    match_route,
+)
+
+__all__ = [
+    "API_PREFIX",
+    "API_ROUTES",
+    "API_VERSION",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobState",
+    "Response",
+    "ServiceError",
+    "SimulationService",
+    "dispatch",
+    "match_route",
+    "spec_from_payload",
+]

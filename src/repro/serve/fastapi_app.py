@@ -1,0 +1,110 @@
+"""FastAPI frontend: the ``repro[serve]`` extra's production adapter.
+
+The application is a thin shell over the same
+:func:`repro.serve.service.dispatch` router the builtin server uses —
+one catch-all route forwards every ``/api/v1/...`` request, so the two
+frontends cannot drift: identical paths, status codes, payloads and
+NDJSON event streams, just served by uvicorn's connection machinery
+instead of ``http.server``.
+
+Nothing in this module imports FastAPI at package-import time;
+:func:`require_serve_extra` is the one gate, and its error message
+says exactly what to install.  ``python -m repro serve --http fastapi``
+(and the Dockerfile, when the extra is baked in) land here.
+"""
+
+from __future__ import annotations
+
+from repro.serve.service import API_PREFIX, SimulationService, dispatch
+
+INSTALL_HINT = (
+    "the FastAPI frontend needs the 'serve' extra: "
+    "pip install 'repro[serve]' (fastapi + uvicorn); "
+    "or run the dependency-free builtin server with --http builtin"
+)
+
+
+def require_serve_extra() -> None:
+    """Fail with an actionable message when fastapi/uvicorn are absent."""
+    try:
+        import fastapi  # noqa: F401
+        import uvicorn  # noqa: F401
+    except ImportError as error:
+        raise RuntimeError(f"{INSTALL_HINT} (missing: {error.name})") from None
+
+
+def create_app(service: SimulationService):
+    """The FastAPI application serving ``service``'s API."""
+    require_serve_extra()
+    from fastapi import FastAPI, Request, Response as FastAPIResponse
+    from fastapi.responses import StreamingResponse
+
+    app = FastAPI(
+        title="repro-serve",
+        description=(
+            "Simulation-as-a-service over the Footprint Cache (ISCA 2013) "
+            "sweep engine: submit ExperimentSpec JSON, poll jobs, stream "
+            "progress, fetch results and figures; warm store points answer "
+            "instantly, misses fan out through the execution backend."
+        ),
+        version="1.0.0",
+    )
+
+    async def _forward(request: Request, path: str) -> FastAPIResponse:
+        body = await request.body()
+        response = dispatch(
+            service,
+            request.method,
+            path,
+            dict(request.query_params),
+            body,
+        )
+        if response.stream is not None:
+            return StreamingResponse(
+                response.stream,
+                status_code=response.status,
+                media_type=response.content_type,
+                headers={"Cache-Control": "no-store"},
+            )
+        return FastAPIResponse(
+            content=response.body_bytes(),
+            status_code=response.status,
+            media_type=response.content_type,
+            headers=response.headers,
+        )
+
+    @app.get(API_PREFIX)
+    async def api_index(request: Request) -> FastAPIResponse:
+        return await _forward(request, API_PREFIX)
+
+    @app.api_route(
+        API_PREFIX + "/{rest:path}", methods=["GET", "POST"],
+        name="api",
+    )
+    async def api(request: Request, rest: str) -> FastAPIResponse:
+        return await _forward(request, f"{API_PREFIX}/{rest}")
+
+    return app
+
+
+def serve_forever(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    quiet: bool = False,
+) -> None:
+    """Run the FastAPI app under uvicorn until interrupted."""
+    require_serve_extra()
+    import uvicorn
+
+    app = create_app(service)
+    try:
+        uvicorn.run(
+            app, host=host, port=port,
+            log_level="warning" if quiet else "info",
+        )
+    finally:
+        service.manager.shutdown(wait=False)
+
+
+__all__ = ["INSTALL_HINT", "create_app", "require_serve_extra", "serve_forever"]

@@ -1,0 +1,454 @@
+"""Async job manager: the queue between the HTTP API and the sweep engine.
+
+A :class:`Job` is one submitted unit of work — an
+:class:`~repro.exp.spec.ExperimentSpec` sweep or a registered figure
+render — owned by a :class:`JobManager` that runs jobs on a bounded
+worker pool.  Jobs move ``pending -> running -> done | failed |
+cancelled``; cancellation is cooperative and lands *between* grid
+points (a point mid-simulation finishes and is persisted, nothing after
+it starts), so a cancelled job leaves the store exactly as far along as
+its progress said.
+
+Every job appends progress events (one per grid point, plus lifecycle
+transitions) to an in-memory log that HTTP clients poll or stream; the
+optional JSONL *journal* additionally persists lifecycle transitions so
+a restarted server can show what previous runs did (visibility only —
+jobs themselves are not resumed; the result store already holds every
+point they completed, which is the real restart currency).
+
+The manager deliberately reuses the engine untouched: each job builds a
+fresh :class:`~repro.exp.store.ResultStore` over the shared directory
+(the store's advisory file lock and reload-before-read coherence make
+concurrent jobs safe) and a fresh execution backend, so a job behaves
+byte-for-byte like the equivalent ``python -m repro sweep`` invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exp import ExperimentSpec, ResultStore, SweepRunner, make_backend
+from repro.exp.locking import file_lock
+from repro.exp.spec import ExperimentPoint
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job; terminal states are done/failed/cancelled."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobCancelled(Exception):
+    """Raised inside a job's progress callback to stop between points."""
+
+
+class Job:
+    """One submitted work item and its observable state.
+
+    All mutation happens under :attr:`_cond`'s lock; every event append
+    notifies waiters, which is what lets the events endpoint stream a
+    job live.  Snapshots are plain JSON-ready dicts — the single shape
+    both HTTP frontends serve.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        detail: str,
+        points: Tuple[ExperimentPoint, ...],
+        spec: Optional[ExperimentSpec] = None,
+        figure: Optional[str] = None,
+    ) -> None:
+        self.id = job_id
+        self.kind = kind  # "sweep" | "figure"
+        self.detail = detail
+        self.points = points
+        self.spec = spec
+        self.figure = figure
+        self.state = JobState.PENDING
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.total = len(points)
+        self.completed = 0
+        self.served_from_store = 0
+        self.simulated = 0
+        self.artifacts: List[Dict[str, str]] = []
+        self._cancel = threading.Event()
+        self._cond = threading.Condition()
+        self.events: List[Dict[str, Any]] = []
+        self._event("submitted", kind=kind, detail=detail, total=self.total)
+
+    # -- mutation (manager/worker side) --------------------------------
+
+    def _event(self, name: str, **data: Any) -> None:
+        with self._cond:
+            self.events.append(
+                {"seq": len(self.events), "ts": time.time(), "event": name, **data}
+            )
+            self._cond.notify_all()
+
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def mark_started(self) -> None:
+        with self._cond:
+            self.state = JobState.RUNNING
+            self.started = time.time()
+        self._event("started")
+
+    def record_point(self, label: str, cached: bool, completed: int) -> None:
+        with self._cond:
+            self.completed = completed
+            if cached:
+                self.served_from_store += 1
+            else:
+                self.simulated += 1
+        self._event(
+            "point", label=label, served_from_store=cached,
+            completed=completed, total=self.total,
+        )
+
+    def finish(self, state: JobState, error: Optional[str] = None) -> bool:
+        """Move to a terminal state once; later calls are ignored."""
+        with self._cond:
+            if self.state.terminal:
+                return False
+            self.state = state
+            self.error = error
+            self.finished = time.time()
+        self._event(state.value, error=error)
+        return True
+
+    # -- observation (API side) ----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The job as the API serves it (JSON-ready, self-contained)."""
+        with self._cond:
+            return {
+                "id": self.id,
+                "kind": self.kind,
+                "detail": self.detail,
+                "state": self.state.value,
+                "error": self.error,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "progress": {
+                    "total": self.total,
+                    "completed": self.completed,
+                    "served_from_store": self.served_from_store,
+                    "simulated": self.simulated,
+                },
+                "events": len(self.events),
+            }
+
+    def events_since(self, since: int) -> List[Dict[str, Any]]:
+        with self._cond:
+            return list(self.events[since:])
+
+    def wait_events(self, since: int, timeout: float) -> List[Dict[str, Any]]:
+        """Events from ``since`` on, blocking up to ``timeout`` for one."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self.events) <= since:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self.state.terminal:
+                    break
+                self._cond.wait(remaining)
+            return list(self.events[since:])
+
+
+class JobManager:
+    """Bounded worker pool executing submitted jobs against one store.
+
+    Parameters
+    ----------
+    store_dir:
+        Shared result store directory (None = the engine default).
+    workers:
+        Concurrent jobs (the pool bound); further submissions queue as
+        ``pending``.
+    jobs:
+        Worker *processes per job* for simulated points — forwarded to
+        :func:`~repro.exp.backends.make_backend` exactly like the
+        sweep CLI's ``--jobs``.
+    backend:
+        Execution backend name (``serial``/``process``; None = what
+        ``jobs`` implies), again mirroring the CLI.
+    journal_path:
+        Optional JSONL journal of job lifecycle transitions, appended
+        under the same advisory file lock the store uses.  Restart
+        visibility: :meth:`history` reads it back, including previous
+        server runs' entries.
+    """
+
+    def __init__(
+        self,
+        store_dir: Optional[str] = None,
+        workers: int = 2,
+        jobs: int = 1,
+        backend: Optional[str] = None,
+        use_cache: bool = True,
+        journal_path: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        # Validate the backend configuration now, not at first submit.
+        make_backend(backend, jobs=jobs)
+        self.store_dir = store_dir
+        self.workers = workers
+        self.jobs = jobs
+        self.backend = backend
+        self.use_cache = use_cache
+        self.journal_path = journal_path
+        self.run_id = secrets.token_hex(4)
+        self._sequence = 0
+        self._jobs: Dict[str, Job] = {}
+        self._futures: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def submit_spec(self, spec: ExperimentSpec) -> Job:
+        """Queue a sweep over ``spec``; returns the pending job."""
+        points = spec.points()
+        detail = (
+            f"{len(points)} point(s): workloads={','.join(spec.workloads)} "
+            f"designs={','.join(spec.designs)}"
+        )
+        return self._enqueue(Job(
+            self._next_id(), "sweep", detail, points, spec=spec,
+        ))
+
+    def submit_figure(self, name: str) -> Job:
+        """Queue a figure render (missing points simulate, then render)."""
+        # Late import: the figure registry pulls in the full reporting
+        # stack, which jobs-only users (and tests) need not pay for.
+        from repro.reporting import get_figure
+
+        figure = get_figure(name)  # raises KeyError for unknown names
+        return self._enqueue(Job(
+            self._next_id(), "figure", figure.title, figure.points(),
+            figure=name,
+        ))
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._sequence += 1
+            return f"{self.run_id}-{self._sequence:04d}"
+
+    def _enqueue(self, job: Job) -> Job:
+        with self._lock:
+            self._jobs[job.id] = job
+        self._journal(job, "submitted", kind=job.kind, detail=job.detail,
+                      total=job.total)
+        future = self._pool.submit(self._execute, job)
+        with self._lock:
+            self._futures[job.id] = future
+        return job
+
+    # -- observation / control -----------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(f"unknown job {job_id!r}")
+            return self._jobs[job_id]
+
+    def list(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; stops between points, or immediately
+        for a job still waiting in the queue."""
+        job = self.get(job_id)
+        job.request_cancel()
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is not None and future.cancel():
+            # Never started: the worker will not run, so finish it here.
+            if job.finish(JobState.CANCELLED):
+                self._journal_terminal(job)
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; cancel queued jobs; optionally wait."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.request_cancel()
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+        for job in jobs:
+            if job.finish(JobState.CANCELLED):
+                self._journal_terminal(job)
+
+    # -- execution -----------------------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        if job.cancel_requested:
+            if job.finish(JobState.CANCELLED):
+                self._journal_terminal(job)
+            return
+        job.mark_started()
+        self._journal(job, "started")
+
+        def progress(tick) -> None:
+            job.record_point(tick.point.label(), tick.cached, tick.completed)
+            if job.cancel_requested:
+                # Raised *after* the tick's result was persisted: the
+                # store keeps everything completed so far, and the
+                # backend abandons points that have not started.
+                raise JobCancelled()
+
+        store = ResultStore(self.store_dir)
+        try:
+            if job.kind == "figure":
+                from repro.reporting import run_figure
+
+                output = run_figure(
+                    job.figure,
+                    store=store,
+                    jobs=self.jobs,
+                    use_cache=self.use_cache,
+                    progress=progress,
+                    backend=make_backend(self.backend, jobs=self.jobs),
+                )
+                job.artifacts = [
+                    {"name": artifact.name, "text": artifact.text}
+                    for artifact in output.artifacts
+                ]
+            else:
+                runner = SweepRunner(
+                    store=store,
+                    jobs=self.jobs,
+                    use_cache=self.use_cache,
+                    progress=progress,
+                    backend=make_backend(self.backend, jobs=self.jobs),
+                )
+                runner.run(job.spec)
+            job.finish(JobState.DONE)
+        except JobCancelled:
+            job.finish(JobState.CANCELLED)
+        except Exception as error:  # noqa: BLE001 - fault isolation:
+            # one bad point (or a renderer bug) fails *this* job; the
+            # worker thread survives for the next one.
+            job.finish(JobState.FAILED, error=f"{type(error).__name__}: {error}")
+        self._journal_terminal(job)
+
+    # -- journal -------------------------------------------------------
+
+    def _journal(self, job: Job, event: str, **data: Any) -> None:
+        if self.journal_path is None:
+            return
+        record = {
+            "ts": time.time(), "run": self.run_id, "job": job.id,
+            "event": event, **data,
+        }
+        directory = os.path.dirname(self.journal_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with file_lock(self.journal_path + ".lock"):
+            with open(self.journal_path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _journal_terminal(self, job: Job) -> None:
+        snapshot = job.snapshot()
+        self._journal(
+            job, snapshot["state"],
+            completed=snapshot["progress"]["completed"],
+            served_from_store=snapshot["progress"]["served_from_store"],
+            simulated=snapshot["progress"]["simulated"],
+            error=snapshot["error"],
+        )
+
+    def history(self) -> List[Dict[str, Any]]:
+        """Journal-reconstructed job summaries, previous runs included.
+
+        One entry per journaled job, carrying its last recorded event
+        and state; entries from other server runs are marked
+        ``restored`` — they exist for operator visibility after a
+        restart, not as live jobs.
+        """
+        if self.journal_path is None or not os.path.exists(self.journal_path):
+            return []
+        summaries: Dict[str, Dict[str, Any]] = {}
+        with open(self.journal_path) as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                    job_id = record["job"]
+                    event = record["event"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn journal tail: skip, like the store
+                entry = summaries.setdefault(job_id, {
+                    "job": job_id,
+                    "run": record.get("run"),
+                    "restored": record.get("run") != self.run_id,
+                })
+                entry["last_event"] = event
+                entry["ts"] = record.get("ts")
+                for field in ("kind", "detail", "total", "completed",
+                              "served_from_store", "simulated", "error"):
+                    if field in record:
+                        entry[field] = record[field]
+                if event in ("done", "failed", "cancelled"):
+                    entry["state"] = event
+                elif "state" not in entry:
+                    entry["state"] = (
+                        "running" if event == "started" else "pending"
+                    )
+        return list(summaries.values())
+
+
+def spec_from_payload(payload: Any, allow_plugins: bool = False) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from an untrusted API payload.
+
+    Exactly the PR 2 ``--spec`` round-trip format, with one service
+    twist: ``plugins`` load arbitrary modules into the server process,
+    so they are rejected unless the operator opted in — and the check
+    happens *before* construction, because ``ExperimentSpec`` imports
+    its plugins as a construction side effect.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("spec payload must be a JSON object of axis values")
+    if payload.get("plugins") and not allow_plugins:
+        raise ValueError(
+            "spec 'plugins' are disabled on this server "
+            "(start with --allow-plugins to accept them)"
+        )
+    return ExperimentSpec.from_dict(payload)
+
+
+__all__ = [
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobState",
+    "spec_from_payload",
+]

@@ -1,0 +1,256 @@
+"""End-to-end HTTP API tests over real sockets (builtin frontend).
+
+The builtin ``http.server`` frontend binds an ephemeral port and the
+tests drive it with ``urllib`` — the actual wire protocol, no test
+doubles.  The final class re-runs the core flows through the FastAPI
+adapter (skipped unless the ``repro[serve]`` extra's dependencies are
+installed) to pin that both frontends serve identical API semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exp import ExperimentSpec, ResultStore, SweepRunner
+from repro.serve import API_PREFIX, JobManager, SimulationService
+from repro.serve.httpd import serve_in_thread
+from repro.sim.simulator import SimulationResult
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        workloads=("web_search",), designs=("page",),
+        capacities_mb=64, num_requests=2000,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def result_payload() -> dict:
+    runner = SweepRunner(store=None)
+    return runner.run_one(tiny_spec().points()[0]).to_dict()
+
+
+@pytest.fixture()
+def server(tmp_path, result_payload):
+    """(base_url, store) with the spec's seeds 0-3 already warm."""
+    store = ResultStore(str(tmp_path / "store"))
+    result = SimulationResult.from_dict(result_payload)
+    for point in tiny_spec(seeds=(0, 1, 2, 3)).points():
+        store.put(point, result)
+    manager = JobManager(store_dir=store.directory, workers=1)
+    service = SimulationService(manager)
+    http_server, _, base = serve_in_thread(service)
+    yield base, store
+    http_server.shutdown()
+    http_server.server_close()
+    manager.shutdown(wait=False)
+
+
+def request(base, path, method="GET", payload=None):
+    """(status, parsed-or-text body) for one API call."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(
+        f"{base}{API_PREFIX}{path}", data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            body = response.read().decode()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        body = error.read().decode()
+        status = error.code
+    try:
+        return status, json.loads(body)
+    except json.JSONDecodeError:
+        return status, body
+
+
+def poll_done(base, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, snapshot = request(base, f"/jobs/{job_id}")
+        assert status == 200
+        if snapshot["state"] in ("done", "failed", "cancelled"):
+            return snapshot
+        time.sleep(0.05)
+    raise AssertionError("job never reached a terminal state")
+
+
+def test_index_lists_every_route(server):
+    base, _ = server
+    status, payload = request(base, "")
+    assert status == 200
+    assert payload["api"] == "v1"
+    assert "POST /api/v1/jobs" in payload["routes"]
+
+
+def test_health_reports_store_and_workers(server):
+    base, store = server
+    status, payload = request(base, "/health")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["store_records"] == 4
+    assert payload["workers"] == 1
+
+
+def test_catalog_endpoints(server):
+    base, _ = server
+    assert "footprint" in request(base, "/designs")[1]["designs"]
+    assert "web_search" in request(base, "/workloads")[1]["workloads"]
+    figures = request(base, "/figures")[1]["figures"]
+    assert any(figure["name"] == "fig01" for figure in figures)
+
+
+def test_submit_poll_results_csv_roundtrip(server):
+    base, _ = server
+    spec = tiny_spec(seeds=(0, 1, 2, 3))
+    status, submitted = request(base, "/jobs", method="POST",
+                                payload=spec.to_dict())
+    assert status == 202
+    # A fully warm job can finish before the submit response is built,
+    # so any state short of failure is legitimate here.
+    assert submitted["state"] in ("pending", "running", "done")
+    job_id = submitted["id"]
+
+    snapshot = poll_done(base, job_id)
+    assert snapshot["state"] == "done"
+    assert snapshot["progress"] == {
+        "total": 4, "completed": 4, "served_from_store": 4, "simulated": 0,
+    }
+
+    status, results = request(base, f"/jobs/{job_id}/results")
+    assert status == 200
+    assert results["complete"] is True
+    assert len(results["points"]) == 4
+    assert all(row["served"] for row in results["points"])
+    assert results["points"][0]["result"]["miss_ratio"] >= 0
+
+    status, csv_text = request(base, f"/jobs/{job_id}/results?format=csv")
+    assert status == 200
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("workload,design,capacity_mb")
+    assert len(lines) == 5  # header + one row per point
+
+    status, listing = request(base, "/jobs")
+    assert status == 200
+    assert any(job["id"] == job_id for job in listing["jobs"])
+
+
+def test_event_pages_and_stream(server):
+    base, _ = server
+    spec = tiny_spec(seeds=(0, 1))
+    _, submitted = request(base, "/jobs", method="POST", payload=spec.to_dict())
+    job_id = submitted["id"]
+    poll_done(base, job_id)
+
+    # Poll mode: one page, then an empty follow-up from the cursor.
+    status, page = request(base, f"/jobs/{job_id}/events?stream=0")
+    assert status == 200
+    names = [event["event"] for event in page["events"]]
+    assert names[0] == "submitted"
+    assert names[-1] == "done"
+    assert names.count("point") == 2
+    status, tail = request(
+        base, f"/jobs/{job_id}/events?stream=0&since={page['next']}"
+    )
+    assert tail["events"] == []
+
+    # Stream mode: NDJSON lines ending with the terminal event.
+    with urllib.request.urlopen(
+        f"{base}{API_PREFIX}/jobs/{job_id}/events", timeout=30
+    ) as response:
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        events = [json.loads(line) for line in response.read().splitlines()]
+    assert [event["event"] for event in events] == names
+
+
+def test_cancel_queued_job_via_api(server):
+    base, _ = server
+    # Cold seeds occupy the single worker; the second job is queued.
+    running = request(base, "/jobs", method="POST",
+                      payload=tiny_spec(seeds=(50, 51, 52)).to_dict())[1]
+    queued = request(base, "/jobs", method="POST",
+                     payload=tiny_spec(seeds=(60, 61)).to_dict())[1]
+    status, cancelled = request(
+        base, f"/jobs/{queued['id']}/cancel", method="POST", payload={}
+    )
+    assert status == 200
+    assert cancelled["state"] == "cancelled"
+    request(base, f"/jobs/{running['id']}/cancel", method="POST", payload={})
+    poll_done(base, running["id"])
+
+
+def test_error_statuses(server):
+    base, _ = server
+    assert request(base, "/jobs/nope")[0] == 404
+    assert request(base, "/nope")[0] == 404
+    assert request(base, "/health", method="POST", payload={})[0] == 405
+    status, payload = request(base, "/jobs", method="POST",
+                              payload={"designs": ["not_a_design"]})
+    assert status == 400
+    assert "invalid spec" in payload["error"]
+    status, payload = request(base, "/jobs", method="POST",
+                              payload={"plugins": ["evil.py"]})
+    assert status == 400
+    assert "plugins" in payload["error"]
+    status, payload = request(base, "/figures/fig99", method="POST", payload={})
+    assert status == 404
+
+
+class TestFastAPIFrontend:
+    """The FastAPI adapter serves the same semantics (needs the extra)."""
+
+    @pytest.fixture()
+    def client(self, tmp_path, result_payload):
+        pytest.importorskip("fastapi")
+        pytest.importorskip("httpx")  # TestClient's transport
+        from fastapi.testclient import TestClient
+
+        from repro.serve.fastapi_app import create_app
+
+        store = ResultStore(str(tmp_path / "store"))
+        result = SimulationResult.from_dict(result_payload)
+        for point in tiny_spec(seeds=(0, 1)).points():
+            store.put(point, result)
+        manager = JobManager(store_dir=store.directory, workers=1)
+        with TestClient(create_app(SimulationService(manager))) as client:
+            yield client
+        manager.shutdown(wait=False)
+
+    def test_submit_and_results_match_builtin_semantics(self, client):
+        assert client.get(f"{API_PREFIX}/health").json()["status"] == "ok"
+        spec = tiny_spec(seeds=(0, 1))
+        submitted = client.post(f"{API_PREFIX}/jobs", json=spec.to_dict())
+        assert submitted.status_code == 202
+        job_id = submitted.json()["id"]
+        for _ in range(600):
+            snapshot = client.get(f"{API_PREFIX}/jobs/{job_id}").json()
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        assert snapshot["state"] == "done"
+        assert snapshot["progress"]["simulated"] == 0
+        results = client.get(f"{API_PREFIX}/jobs/{job_id}/results").json()
+        assert results["complete"] is True
+        assert len(results["points"]) == 2
+        assert client.get(f"{API_PREFIX}/jobs/nope").status_code == 404
+        assert client.post(f"{API_PREFIX}/health").status_code == 405
+
+    def test_missing_extra_message_names_install_target(self):
+        # Independent of whether fastapi is installed: the gate's error
+        # text must tell the operator exactly what to do.
+        from repro.serve.fastapi_app import INSTALL_HINT
+
+        assert "repro[serve]" in INSTALL_HINT
+        assert "--http builtin" in INSTALL_HINT

@@ -1,0 +1,234 @@
+"""Job manager semantics: the async queue between HTTP and the engine.
+
+Pins the contracts the serve layer promises:
+
+* lifecycle: ``pending -> running -> done`` with a coherent event log;
+* the warm-store fast path (a fully cached spec finishes with zero
+  simulations);
+* cooperative cancellation between points — everything completed before
+  the cancel stays persisted in the store;
+* fault isolation — one failing job reports ``failed`` without wedging
+  the pool for the next job;
+* the JSONL journal: lifecycle survives a restart, prior-run entries
+  come back marked ``restored``;
+* the untrusted-payload gate (``plugins`` rejected unless opted in).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exp import ExperimentSpec, ResultStore, SweepRunner
+from repro.serve import JobManager, JobState, spec_from_payload
+from repro.sim.simulator import SimulationResult
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        workloads=("web_search",), designs=("page",),
+        capacities_mb=64, num_requests=2000,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def result_payload() -> dict:
+    """One real simulated result, reused under many distinct points."""
+    runner = SweepRunner(store=None)
+    return runner.run_one(tiny_spec().points()[0]).to_dict()
+
+
+def warm_store(tmp_path, result_payload, spec) -> ResultStore:
+    """A store already holding every point of ``spec``."""
+    store = ResultStore(str(tmp_path / "store"))
+    result = SimulationResult.from_dict(result_payload)
+    for point in spec.points():
+        store.put(point, result)
+    return store
+
+
+def wait_terminal(job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snapshot = job.snapshot()
+        if snapshot["state"] in ("done", "failed", "cancelled"):
+            return snapshot
+        time.sleep(0.02)
+    raise AssertionError(f"job never finished: {job.snapshot()}")
+
+
+def wait_for_point_event(job, timeout=60.0):
+    """Block until the job has recorded at least one completed point."""
+    cursor = 0
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for event in job.wait_events(cursor, timeout=1.0):
+            cursor += 1
+            if event["event"] == "point":
+                return event
+        if job.snapshot()["state"] in ("done", "failed", "cancelled"):
+            raise AssertionError(f"job finished early: {job.snapshot()}")
+    raise AssertionError("no point event arrived")
+
+
+def make_manager(store, **kwargs) -> JobManager:
+    return JobManager(store_dir=store.directory, workers=1, **kwargs)
+
+
+@pytest.fixture()
+def manager_factory(request):
+    managers = []
+
+    def build(store, **kwargs):
+        manager = make_manager(store, **kwargs)
+        managers.append(manager)
+        return manager
+
+    yield build
+    for manager in managers:
+        manager.shutdown(wait=False)
+
+
+def test_warm_spec_runs_to_done_with_zero_simulations(
+    tmp_path, result_payload, manager_factory
+):
+    spec = tiny_spec(seeds=(0, 1, 2))
+    store = warm_store(tmp_path, result_payload, spec)
+    manager = manager_factory(store)
+
+    job = manager.submit_spec(spec)
+    snapshot = wait_terminal(job)
+
+    assert snapshot["state"] == JobState.DONE.value
+    assert snapshot["error"] is None
+    assert snapshot["progress"] == {
+        "total": 3, "completed": 3, "served_from_store": 3, "simulated": 0,
+    }
+    # Event log shape: submitted, started, one per point, terminal.
+    names = [event["event"] for event in job.events_since(0)]
+    assert names[0] == "submitted"
+    assert names[1] == "started"
+    assert names.count("point") == 3
+    assert names[-1] == "done"
+    assert snapshot["started"] is not None
+    assert snapshot["finished"] >= snapshot["started"]
+
+
+def test_cancel_mid_sweep_keeps_completed_points(
+    tmp_path, result_payload, manager_factory
+):
+    # Cold seeds: every point must actually simulate, giving the cancel
+    # request a real between-points window to land in.
+    spec = tiny_spec(seeds=(10, 11, 12, 13, 14, 15))
+    store = ResultStore(str(tmp_path / "store"))
+    manager = manager_factory(store)
+
+    job = manager.submit_spec(spec)
+    wait_for_point_event(job)
+    manager.cancel(job.id)
+    snapshot = wait_terminal(job)
+
+    assert snapshot["state"] == JobState.CANCELLED.value
+    completed = snapshot["progress"]["completed"]
+    assert 0 < completed < 6
+    # Between-points contract: exactly the completed points were
+    # persisted — nothing lost, nothing after the cancel started.
+    assert len(ResultStore(store.directory)) == completed
+    assert job.events_since(0)[-1]["event"] == "cancelled"
+
+
+def test_cancel_queued_job_never_runs(tmp_path, result_payload, manager_factory):
+    spec = tiny_spec(seeds=(20, 21, 22))
+    store = ResultStore(str(tmp_path / "store"))
+    manager = manager_factory(store)
+
+    # workers=1: the first job occupies the only worker, the second sits
+    # in the queue where cancellation is immediate.
+    running = manager.submit_spec(spec)
+    queued = manager.submit_spec(tiny_spec(seeds=(30, 31)))
+    cancelled = manager.cancel(queued.id)
+
+    assert cancelled.snapshot()["state"] == JobState.CANCELLED.value
+    assert cancelled.snapshot()["progress"]["completed"] == 0
+    manager.cancel(running.id)
+    wait_terminal(running)
+
+
+def test_failed_job_isolates_fault_and_pool_survives(
+    tmp_path, result_payload, manager_factory, monkeypatch
+):
+    spec = tiny_spec(seeds=(0, 1))
+    store = warm_store(tmp_path, result_payload, spec)
+    manager = manager_factory(store)
+
+    class ExplodingRunner:
+        def __init__(self, **kwargs):
+            pass
+
+        def run(self, spec):
+            raise RuntimeError("simulated engine fault")
+
+    import repro.serve.jobs as jobs_module
+    monkeypatch.setattr(jobs_module, "SweepRunner", ExplodingRunner)
+    failed = manager.submit_spec(spec)
+    snapshot = wait_terminal(failed)
+    assert snapshot["state"] == JobState.FAILED.value
+    assert "RuntimeError: simulated engine fault" in snapshot["error"]
+
+    # The worker thread survived: the next (warm) job runs clean.
+    monkeypatch.undo()
+    good = manager.submit_spec(spec)
+    snapshot = wait_terminal(good)
+    assert snapshot["state"] == JobState.DONE.value
+    assert snapshot["progress"]["simulated"] == 0
+
+
+def test_journal_survives_restart_with_restored_entries(
+    tmp_path, result_payload, manager_factory
+):
+    spec = tiny_spec(seeds=(0, 1))
+    store = warm_store(tmp_path, result_payload, spec)
+    journal = str(tmp_path / "journal.jsonl")
+
+    first = manager_factory(store, journal_path=journal)
+    job = first.submit_spec(spec)
+    wait_terminal(job)
+    history = first.history()
+    assert len(history) == 1
+    assert history[0]["job"] == job.id
+    assert history[0]["state"] == "done"
+    assert history[0]["restored"] is False
+    assert history[0]["served_from_store"] == 2
+
+    # A restarted server (new run id) sees the old job, marked restored.
+    second = manager_factory(store, journal_path=journal)
+    restored = {entry["job"]: entry for entry in second.history()}
+    assert restored[job.id]["restored"] is True
+    assert restored[job.id]["state"] == "done"
+
+
+def test_unknown_figure_raises_before_enqueue(
+    tmp_path, result_payload, manager_factory
+):
+    store = warm_store(tmp_path, result_payload, tiny_spec())
+    manager = manager_factory(store)
+    with pytest.raises(KeyError):
+        manager.submit_figure("fig99_not_a_figure")
+    assert manager.list() == []
+
+
+def test_spec_payload_plugins_rejected_unless_opted_in():
+    payload = tiny_spec().to_dict()
+    payload["plugins"] = ["examples/custom_design.py"]
+    with pytest.raises(ValueError, match="plugins"):
+        spec_from_payload(payload)
+    spec = spec_from_payload(payload, allow_plugins=True)
+    assert spec.plugins == ("examples/custom_design.py",)
+
+
+def test_spec_payload_must_be_object():
+    with pytest.raises(ValueError, match="JSON object"):
+        spec_from_payload(["not", "a", "spec"])

@@ -4,15 +4,19 @@
 Every ``python -m repro ...`` invocation inside a code fence of the
 user-facing docs must name a subcommand the live parser actually has,
 use only flags that subcommand defines, and (for ``store``) a valid
-action.  This keeps README/ARCHITECTURE from drifting when the CLI
-evolves — the docs are checked against the parser itself, not a list
-that would itself go stale.
+action.  Every documented HTTP call against the serve API (curl lines
+and ``METHOD /api/v1/...`` mentions in fences) must match a route the
+live router actually exposes, with the right method.  This keeps
+README/ARCHITECTURE from drifting when the CLI or API evolves — the
+docs are checked against the parser and route table themselves, not a
+list that would itself go stale.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -47,6 +51,82 @@ def iter_fenced_commands(text: str):
             pending_line = number
         else:
             yield number, stripped
+
+
+# Path segments may be concrete values, shell variables ($JOB) or the
+# route's own {placeholder}; queries and quotes end the path.
+API_PATH_RE = re.compile(r"/api/v\d+[A-Za-z0-9_\-/{}$.]*")
+API_METHOD_RE = re.compile(r"^(GET|POST|PUT|DELETE|PATCH)\s+(/api/\S+)")
+
+
+def _api_calls_from_line(number: int, line: str):
+    """Yield (line_number, method, path) for API references in one line."""
+    paths = [p.split("?")[0].rstrip("/.") or "/" for p in API_PATH_RE.findall(line)]
+    if not paths:
+        return
+    if "curl" in line:
+        explicit = re.search(r"-X\s*([A-Z]+)", line)
+        if explicit:
+            method = explicit.group(1)
+        elif re.search(r"(^|\s)(-d|--data|--data-binary|--data-raw|--json)\b", line):
+            method = "POST"  # curl's own data-implies-POST rule
+        else:
+            method = "GET"
+        for path in paths:
+            yield number, method, path
+        return
+    prose = API_METHOD_RE.match(line.strip("`"))
+    if prose:
+        yield number, prose.group(1), prose.group(2).split("?")[0].strip("`")
+
+
+def iter_fenced_api_calls(text: str):
+    """Yield (line_number, method, path) for fenced serve-API calls."""
+    in_fence = False
+    pending = ""
+    pending_line = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        if pending:
+            pending += " " + stripped.rstrip("\\").strip()
+            if not stripped.endswith("\\"):
+                yield from _api_calls_from_line(pending_line, pending)
+                pending = ""
+            continue
+        if "/api/" not in stripped and "curl" not in stripped:
+            continue
+        stripped = stripped.lstrip("$").strip()
+        if stripped.endswith("\\"):
+            pending = stripped.rstrip("\\").strip()
+            pending_line = number
+        else:
+            yield from _api_calls_from_line(number, stripped)
+
+
+def _template_matches(template: str, path: str) -> bool:
+    t_parts = template.strip("/").split("/")
+    p_parts = path.strip("/").split("/")
+    if len(t_parts) != len(p_parts):
+        return False
+    # A {param} segment accepts any concrete value ($JOB, a job id, ...).
+    return all(
+        t.startswith("{") or t == p for t, p in zip(t_parts, p_parts)
+    )
+
+
+def check_api_call(method: str, path: str, routes) -> list:
+    """All problems with one documented API call (empty = clean)."""
+    if any(m == method and _template_matches(t, path) for m, t in routes):
+        return []
+    if any(_template_matches(t, path) for _, t in routes):
+        allowed = sorted(m for m, t in routes if _template_matches(t, path))
+        return [f"method {method} not allowed for {path} (allowed: {allowed})"]
+    return [f"unknown API route {method} {path}"]
 
 
 def _subparsers(parser: argparse.ArgumentParser):
@@ -140,9 +220,12 @@ def main() -> int:
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.__main__ import build_parser
 
+    from repro.serve import API_ROUTES
+
     parser = build_parser()
     failures = []
     all_commands = []
+    api_calls = 0
     for doc in DOC_FILES:
         path = os.path.join(REPO_ROOT, doc)
         with open(path) as handle:
@@ -152,7 +235,20 @@ def main() -> int:
         for number, command in commands:
             for problem in check_command(command, parser):
                 failures.append(f"{doc}:{number}: {command!r}: {problem}")
-        print(f"{doc}: {len(commands)} CLI invocation(s) checked")
+        calls = list(iter_fenced_api_calls(text))
+        api_calls += len(calls)
+        for number, method, api_path in calls:
+            for problem in check_api_call(method, api_path, API_ROUTES):
+                failures.append(f"{doc}:{number}: {problem}")
+        print(
+            f"{doc}: {len(commands)} CLI invocation(s), "
+            f"{len(calls)} API call(s) checked"
+        )
+    if api_calls == 0:
+        failures.append(
+            "the serve API (/api/v1) is never demonstrated in "
+            f"{', '.join(DOC_FILES)}"
+        )
     # Coverage in the other direction: every live subcommand (sweep,
     # report, perf, store, ...) must be demonstrated in at least one doc
     # fence, so new CLI surface cannot land undocumented.
