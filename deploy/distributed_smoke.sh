@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end smoke for distributed sweeps (run by CI's distributed-smoke
+# job).
+#
+# Starts a coordinator (`repro serve`) with a short lease deadline, then
+# walks the fig01 grid through a worker fleet with a real injected
+# fault: the first worker runs with --kill-after 3, so it completes one
+# 2-point shard, delivers one more result, and crashes mid-shard (exit
+# code 3).  Two healthy workers then join, the expired lease is
+# reassigned, and the run completes.  The merged submitter store, the
+# coordinator's own store, and a plain `--jobs 2` single-machine run of
+# the same specs must be byte-identical record-for-record — the crash,
+# the reassignment and the duplicate delivery may not change any stored
+# byte, lose a record, or double one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+PORT=${PORT:-8791}
+BASE="http://127.0.0.1:$PORT"
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The fig01 grid as spec files (ideal: 12 points, baseline: 6 points).
+python - "$WORK" <<'PY'
+import sys
+from repro.reporting import get_figure
+
+for name, spec in sorted(get_figure("fig01").specs.items()):
+    with open(f"{sys.argv[1]}/spec_{name}.json", "w") as handle:
+        handle.write(spec.to_json())
+    print(f"spec_{name}.json: {len(spec.points())} point(s)")
+PY
+
+python -m repro serve --host 127.0.0.1 --port "$PORT" --workers 1 \
+    --store "$WORK/coord_store" --journal none \
+    --coordinator-journal "$WORK/coordinator_journal.jsonl" \
+    --lease-seconds 5 --quiet &
+PIDS+=($!)
+
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/api/v1/health" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/api/v1/health"; echo
+
+# The faulty worker joins first, alone, so it is guaranteed to lease
+# work: with 2-point shards, --kill-after 3 completes shard one and
+# crashes with shard two half-delivered.
+set +e
+python -m repro worker --coordinator "$BASE" --id faulty --kill-after 3 &
+FAULTY=$!
+set -e
+
+# Submit the large spec through the distributed backend (6 shards of 2).
+python -m repro sweep --spec "$WORK/spec_ideal.json" \
+    --coordinator "$BASE" --dist-shards 6 \
+    --store "$WORK/dist_store" >"$WORK/sweep_ideal.out" &
+SWEEP=$!
+PIDS+=($SWEEP)
+
+# The injected crash must actually happen: exit code 3, mid-shard.
+set +e
+wait "$FAULTY"
+FAULTY_STATUS=$?
+set -e
+echo "faulty worker exited with status $FAULTY_STATUS (want 3)"
+test "$FAULTY_STATUS" -eq 3
+
+# Two healthy workers absorb the reassigned lease and finish the run.
+python -m repro worker --coordinator "$BASE" --id w1 --quiet &
+PIDS+=($!)
+python -m repro worker --coordinator "$BASE" --id w2 --jobs 2 --quiet &
+PIDS+=($!)
+
+wait "$SWEEP"
+cat "$WORK/sweep_ideal.out"
+
+# Second spec over the now-healthy fleet (3 shards of 2).
+python -m repro sweep --spec "$WORK/spec_baseline.json" \
+    --coordinator "$BASE" --dist-shards 3 \
+    --store "$WORK/dist_store" | tail -n 3
+
+# Reassignment really happened, nothing was lost, and every run folded
+# every point exactly once.
+curl -fsS "$BASE/api/v1/coordinator/runs" >"$WORK/runs.json"
+python - "$WORK/runs.json" <<'PY'
+import json, sys
+
+runs = json.load(open(sys.argv[1]))["runs"]
+assert len(runs) == 2, runs
+for run in runs:
+    assert run["state"] == "done", run
+    assert run["folded"] == run["points"], run
+assert sum(run["reassigned"] for run in runs) >= 1, runs
+assert sum(run["points"] for run in runs) == 18, runs
+print("coordinator runs:", [
+    {k: run[k] for k in ("id", "points", "reassigned", "duplicates")}
+    for run in runs
+])
+PY
+
+# The parity gate: a plain single-machine `--jobs 2` run of the same
+# specs must produce the same records byte-for-byte (order differs —
+# fold order vs grid order — so compare sorted).
+python -m repro sweep --spec "$WORK/spec_ideal.json" --jobs 2 \
+    --store "$WORK/ref_store" >/dev/null
+python -m repro sweep --spec "$WORK/spec_baseline.json" --jobs 2 \
+    --store "$WORK/ref_store" >/dev/null
+
+sort "$WORK/ref_store/results.jsonl" >"$WORK/ref.sorted"
+sort "$WORK/dist_store/results.jsonl" >"$WORK/dist.sorted"
+sort "$WORK/coord_store/results.jsonl" >"$WORK/coord.sorted"
+cmp "$WORK/ref.sorted" "$WORK/dist.sorted"
+cmp "$WORK/ref.sorted" "$WORK/coord.sorted"
+echo "distributed smoke: fleet, coordinator and --jobs 2 stores are byte-identical"

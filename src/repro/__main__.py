@@ -64,6 +64,7 @@ from repro.exp import (
     ExperimentSpec,
     ResultStore,
     SweepRunner,
+    TransportError,
     load_plugins,
     make_backend,
     parse_shard,
@@ -182,6 +183,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard", type=_shard, default=None, metavar="I/N",
         help="run only shard I of N (deterministic grid partition; "
         "combine shard stores with 'repro store merge')",
+    )
+    sweep.add_argument(
+        "--coordinator", default=None, metavar="URL",
+        help="run uncached points on a worker fleet via this coordinator "
+        "(a 'repro serve' base URL, e.g. http://host:8000); results "
+        "land in the local --store byte-identically to a local run",
+    )
+    sweep.add_argument(
+        "--dist-shards", type=int, default=0, metavar="N",
+        help="with --coordinator: how many leases to partition the run "
+        "into (default: coordinator's choice)",
+    )
+    sweep.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="S",
+        help="with --coordinator: per-shard lease deadline before the "
+        "shard is reassigned to another worker",
     )
     sweep.add_argument(
         "--plugin", action="append", default=None, metavar="MOD",
@@ -380,6 +397,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-request access logging",
     )
+    serve.add_argument(
+        "--coordinator-journal", default=None, metavar="FILE",
+        help="JSONL journal of distributed-run state for coordinator "
+        "restarts (default <store>/coordinator_journal.jsonl; "
+        "'none' disables)",
+    )
+    serve.add_argument(
+        "--lease-seconds", type=float, default=60.0, metavar="S",
+        help="default per-shard lease deadline for distributed runs "
+        "(default 60; submitters may override per run)",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a coordinator's worker fleet for distributed sweeps",
+        description="Run a sweep worker: lease shards of distributed runs "
+        "from a coordinator (a 'repro serve' instance), simulate them "
+        "through a local execution backend, and stream results back.  "
+        "Workers are stateless — kill one mid-shard and the coordinator "
+        "reassigns its lease after the deadline; results are "
+        "deterministic, so retries and duplicates cannot change any "
+        "stored byte.",
+    )
+    worker.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="coordinator base URL (a running 'repro serve', "
+        "e.g. http://host:8000)",
+    )
+    worker.add_argument(
+        "--id", dest="worker_id", default=None, metavar="NAME",
+        help="worker name shown in coordinator snapshots "
+        "(default: a random worker-<hex> id)",
+    )
+    worker.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="local worker processes per shard, like 'sweep --jobs' "
+        "(default 1; 0 = one per CPU)",
+    )
+    worker.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="local execution backend for leased points (default: serial "
+        "for --jobs 1, process otherwise)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=1.0, metavar="S",
+        help="idle poll interval in seconds (default 1)",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="S",
+        help="exit after this long with nothing to lease "
+        "(default: poll forever)",
+    )
+    worker.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="fault injection: crash before delivering result N+1 "
+        "(exit code 3; used by the distributed-smoke CI job)",
+    )
+    worker.add_argument(
+        "--plugin", action="append", default=None, metavar="MOD",
+        help="module registering custom designs/workload profiles, "
+        "loaded before any shard runs (repeatable)",
+    )
+    worker.add_argument(
+        "--engine", dest="worker_engine", choices=EXECUTION_ENGINES,
+        default=None,
+        help="execution engine for leased points (sets REPRO_ENGINE; "
+        "results are engine-independent)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard progress lines",
+    )
 
     store = commands.add_parser(
         "store",
@@ -506,7 +595,21 @@ def _run_sweep(args) -> int:
         spec = _sweep_spec(args)
         for point in spec.points():
             point.config()  # surface capacity/page-size/request errors now
-        backend = make_backend(args.backend, jobs=args.jobs, shard=args.shard)
+        if args.coordinator is not None:
+            if args.shard is not None:
+                raise ValueError(
+                    "--shard partitions a local run; --coordinator already "
+                    "shards on the fleet — use --dist-shards instead"
+                )
+            from repro.exp import DistributedBackend
+
+            backend = DistributedBackend(
+                args.coordinator,
+                shards=args.dist_shards,
+                lease_seconds=args.lease_seconds,
+            )
+        else:
+            backend = make_backend(args.backend, jobs=args.jobs, shard=args.shard)
     except (TypeError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -540,6 +643,10 @@ def _run_sweep(args) -> int:
         # that is not a whole number of sets) surface here, from workers
         # included — report them like any other invalid grid value.
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except TransportError as error:
+        # Distributed runs: the coordinator went away (or never was).
+        print(f"error: coordinator unreachable: {error}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started
 
@@ -792,7 +899,7 @@ def _run_serve(args) -> int:
     # Imported lazily: the serve layer pulls in the reporting registry
     # (for figure jobs) which builds every figure's spec on import.
     from repro.exp.store import default_store_dir
-    from repro.serve import JobManager, SimulationService
+    from repro.serve import Coordinator, JobManager, SimulationService
 
     store_dir = args.store if args.store is not None else default_store_dir()
     journal = args.journal
@@ -800,6 +907,11 @@ def _run_serve(args) -> int:
         journal = os.path.join(store_dir, "serve_journal.jsonl")
     elif journal.lower() == "none":
         journal = None
+    coordinator_journal = args.coordinator_journal
+    if coordinator_journal is None:
+        coordinator_journal = os.path.join(store_dir, "coordinator_journal.jsonl")
+    elif coordinator_journal.lower() == "none":
+        coordinator_journal = None
     try:
         manager = JobManager(
             store_dir=store_dir,
@@ -808,10 +920,18 @@ def _run_serve(args) -> int:
             backend=args.backend,
             journal_path=journal,
         )
+        coordinator = Coordinator(
+            store_dir=store_dir,
+            journal_path=coordinator_journal,
+            lease_seconds=args.lease_seconds,
+            allow_plugins=args.allow_plugins,
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    service = SimulationService(manager, allow_plugins=args.allow_plugins)
+    service = SimulationService(
+        manager, allow_plugins=args.allow_plugins, coordinator=coordinator
+    )
     if args.http == "fastapi":
         from repro.serve.fastapi_app import serve_forever
     else:
@@ -824,6 +944,49 @@ def _run_serve(args) -> int:
         # here with an actionable install hint; the core stays usable.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _run_worker(args) -> int:
+    # Lazy import keeps 'repro sweep --help' fast and the serve layer
+    # optional for purely local use.
+    from repro.serve.faults import FaultyWorker
+    from repro.serve.worker import WorkerKilled, WorkerLoop
+
+    if args.worker_engine is not None:
+        os.environ["REPRO_ENGINE"] = args.worker_engine
+    plugins = tuple(args.plugin or ())
+    try:
+        load_plugins(plugins)
+        backend = make_backend(args.backend, jobs=args.jobs)
+    except (TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kwargs = dict(
+        backend=backend,
+        worker_id=args.worker_id,
+        plugins=plugins,
+        poll_seconds=args.poll,
+        max_idle_seconds=args.max_idle,
+        quiet=args.quiet,
+    )
+    if args.kill_after is not None:
+        loop: WorkerLoop = FaultyWorker(
+            args.coordinator, kill_after=args.kill_after, **kwargs
+        )
+    else:
+        loop = WorkerLoop(args.coordinator, **kwargs)
+    try:
+        loop.run()
+    except WorkerKilled as error:
+        print(f"worker killed (fault injection): {error}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"worker {loop.worker_id}: {loop.shards_completed} shard(s), "
+        f"{loop.delivered_total} result(s) delivered"
+    )
     return 0
 
 
@@ -905,6 +1068,8 @@ def main(argv=None) -> int:
         return _run_perf(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "worker":
+        return _run_worker(args)
     if args.command == "store":
         return _run_store(args)
     return _run_single(args)

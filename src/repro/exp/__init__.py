@@ -27,10 +27,13 @@ The engine turns the paper's figure grids into composable pieces:
 
 from repro.exp.backends import (
     BACKEND_NAMES,
+    DistributedBackend,
+    HttpTransport,
     ProcessBackend,
     SerialBackend,
     ShardBackend,
     SweepBackend,
+    TransportError,
     make_backend,
     parse_shard,
 )
@@ -62,9 +65,11 @@ from repro.exp.store import (
 __all__ = [
     "BACKEND_NAMES",
     "CompactionStats",
+    "DistributedBackend",
     "ENGINE_VERSION",
     "ExperimentPoint",
     "ExperimentSpec",
+    "HttpTransport",
     "MergeStats",
     "ProcessBackend",
     "ResultStore",
@@ -76,6 +81,7 @@ __all__ = [
     "SweepProgress",
     "SweepResult",
     "SweepRunner",
+    "TransportError",
     "default_requests",
     "default_store_dir",
     "file_lock",

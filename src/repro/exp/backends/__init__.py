@@ -15,6 +15,12 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.exp.backends.base import SweepBackend
+from repro.exp.backends.distributed import (
+    COORDINATOR_PREFIX,
+    DistributedBackend,
+    HttpTransport,
+    TransportError,
+)
 from repro.exp.backends.process import ProcessBackend
 from repro.exp.backends.serial import SerialBackend
 from repro.exp.backends.shard import ShardBackend, parse_shard
@@ -52,10 +58,14 @@ def make_backend(
 
 __all__ = [
     "BACKEND_NAMES",
+    "COORDINATOR_PREFIX",
+    "DistributedBackend",
+    "HttpTransport",
     "ProcessBackend",
     "SerialBackend",
     "ShardBackend",
     "SweepBackend",
+    "TransportError",
     "make_backend",
     "parse_shard",
 ]

@@ -1,0 +1,185 @@
+"""Distributed execution: ship points to a coordinator, poll results back.
+
+The :class:`DistributedBackend` is the submitter side of the worker-fleet
+protocol (coordinator: :mod:`repro.serve.coordinator`, worker loop:
+:mod:`repro.serve.worker`).  ``execute`` POSTs the pending points to the
+coordinator as one *run*; the coordinator partitions them into leased
+shards, workers pull shards over ``/api/v1/coordinator/*`` and stream
+per-point results back, and this backend pages the folded results out of
+``GET .../runs/{id}/results`` and yields them to the
+:class:`~repro.exp.runner.SweepRunner` — which persists them to the
+*submitter's* store exactly like any local backend's results.  The
+simulation is deterministic per point, so the bytes the runner writes are
+identical to a ``--jobs N`` run on one machine regardless of which worker
+ran what, how often a shard was retried, or the order results arrived.
+
+Transport is pluggable: :class:`HttpTransport` (stdlib ``urllib``) for
+real deployments, and the in-process/fault-injecting transports in
+:mod:`repro.serve.faults` for tests.  A transport is one method —
+``call(method, path, payload) -> dict`` — raising :class:`TransportError`
+on network or HTTP-level failure.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.exp.backends.base import SweepBackend
+from repro.exp.spec import ExperimentPoint
+from repro.sim.simulator import SimulationResult
+
+COORDINATOR_PREFIX = "/api/v1/coordinator"
+"""Path prefix of every coordinator route (under the serve layer's API)."""
+
+
+class TransportError(RuntimeError):
+    """A coordinator call failed (network error or HTTP error status)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class HttpTransport:
+    """JSON-over-HTTP transport to a running ``python -m repro serve``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def call(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise TransportError(
+                f"{method} {path} -> {error.code}: {detail}", status=error.code
+            ) from error
+        except OSError as error:
+            raise TransportError(f"{method} {path} failed: {error}") from error
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise TransportError(f"{method} {path}: non-JSON response") from error
+        if not isinstance(parsed, dict):
+            raise TransportError(f"{method} {path}: non-object response")
+        return parsed
+
+
+class DistributedBackend(SweepBackend):
+    """Run a sweep's pending points on a coordinator-managed worker fleet.
+
+    Parameters
+    ----------
+    transport:
+        A coordinator base URL (``http://host:port``) or any object with
+        the transport ``call`` method.
+    shards:
+        How many leases to partition the run into (0 = coordinator
+        default).  More shards means finer-grained reassignment when a
+        worker dies, at the cost of more lease round-trips.
+    lease_seconds:
+        Per-shard lease deadline; a worker that has not folded its shard
+        within this window loses it to reassignment.  ``None`` keeps the
+        coordinator default.
+    poll_seconds / timeout_seconds:
+        Result-poll cadence, and an optional overall deadline after
+        which ``execute`` raises (``None`` = wait forever; the
+        coordinator reassigns lost shards, so progress only stalls when
+        no workers are alive at all).
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        transport: Union[str, Any],
+        shards: int = 0,
+        lease_seconds: Optional[float] = None,
+        poll_seconds: float = 0.5,
+        timeout_seconds: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if isinstance(transport, str):
+            transport = HttpTransport(transport)
+        self.transport = transport
+        self.shards = int(shards)
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.timeout_seconds = timeout_seconds
+        self._sleep = sleep
+        self._clock = clock
+
+    def submit(
+        self, points: Sequence[ExperimentPoint], plugins: Sequence[str] = ()
+    ) -> Dict[str, Any]:
+        """POST the run; returns the coordinator's run snapshot."""
+        payload: Dict[str, Any] = {
+            "points": [point.to_dict() for point in points]
+        }
+        if self.shards:
+            payload["shards"] = self.shards
+        if self.lease_seconds is not None:
+            payload["lease_seconds"] = self.lease_seconds
+        if plugins:
+            payload["plugins"] = list(plugins)
+        return self.transport.call("POST", f"{COORDINATOR_PREFIX}/runs", payload)
+
+    def execute(
+        self,
+        points: Sequence[ExperimentPoint],
+        plugins: Sequence[str] = (),
+    ) -> Iterator[Tuple[ExperimentPoint, SimulationResult]]:
+        points = tuple(points)
+        if not points:
+            return
+        run = self.submit(points, plugins)
+        run_id = run["id"]
+        by_key = {point.key(): point for point in points}
+        deadline = (
+            None
+            if self.timeout_seconds is None
+            else self._clock() + self.timeout_seconds
+        )
+        cursor = 0
+        while True:
+            page = self.transport.call(
+                "GET", f"{COORDINATOR_PREFIX}/runs/{run_id}/results?since={cursor}"
+            )
+            for row in page["results"]:
+                point = by_key.get(row["key"])
+                if point is not None:
+                    yield point, SimulationResult.from_dict(row["result"])
+            cursor = page["next"]
+            if page["state"] == "failed":
+                raise RuntimeError(
+                    f"distributed run {run_id} failed: {page.get('error')}"
+                )
+            if page["state"] == "done" and cursor >= page["total"]:
+                return
+            if deadline is not None and self._clock() > deadline:
+                raise TransportError(
+                    f"distributed run {run_id} timed out after "
+                    f"{self.timeout_seconds}s ({cursor}/{page['total']} folded)"
+                )
+            self._sleep(self.poll_seconds)

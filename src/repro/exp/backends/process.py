@@ -29,6 +29,23 @@ def _worker(point: ExperimentPoint) -> Tuple[ExperimentPoint, dict]:
     return point, run_point(point).to_dict()
 
 
+def _point_error(error: BaseException, point: ExperimentPoint) -> BaseException:
+    """Rebuild ``error`` with the failing point named in its message.
+
+    A bare worker exception ("division by zero") is useless in a
+    many-point sweep; the label pins which experiment died.  The
+    original type is preserved when it can be rebuilt from a message
+    (so callers' ``except ValueError`` handling still works), with the
+    original exception chained as ``__cause__`` either way.
+    """
+    message = f"point {point.label()} failed: {error}"
+    try:
+        rebuilt = type(error)(message)
+    except Exception:
+        rebuilt = RuntimeError(message)
+    return rebuilt
+
+
 class ProcessBackend(SweepBackend):
     """Fan points out over a ``ProcessPoolExecutor``.
 
@@ -66,7 +83,11 @@ class ProcessBackend(SweepBackend):
             from repro.exp import runner
 
             for point in points:
-                yield point, runner.run_point(point)
+                try:
+                    result = runner.run_point(point)
+                except Exception as error:
+                    raise _point_error(error, point) from error
+                yield point, result
             return
         with ProcessPoolExecutor(
             max_workers=jobs,
@@ -74,10 +95,13 @@ class ProcessBackend(SweepBackend):
             initializer=_bootstrap,
             initargs=(tuple(plugins),),
         ) as pool:
-            futures = [pool.submit(_worker, point) for point in points]
+            futures = {pool.submit(_worker, point): point for point in points}
             try:
                 for future in as_completed(futures):
-                    point, data = future.result()
+                    try:
+                        point, data = future.result()
+                    except Exception as error:
+                        raise _point_error(error, futures[future]) from error
                     yield point, SimulationResult.from_dict(data)
             finally:
                 # An abandoned generator (a cancelled serve job, a

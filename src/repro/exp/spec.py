@@ -287,6 +287,44 @@ class ExperimentPoint:
         )
         return f"{self.workload}/{self.design}/{capacity}{extras}"
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able payload that :meth:`from_dict` reconstructs exactly.
+
+        This is the wire format of the distributed sweep protocol: the
+        coordinator ships points to workers as JSON, and the worker-side
+        reconstruction must produce the same :meth:`key` (the resolved
+        config is a pure function of these fields, so it does).
+        """
+        return {
+            "workload": self.workload,
+            "design": self.design,
+            "capacity_mb": self.capacity_mb,
+            "scale": self.scale,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "page_size": self.page_size,
+            "cache_kwargs": [list(pair) for pair in self.cache_kwargs],
+            "system_kwargs": [list(pair) for pair in self.system_kwargs],
+            "timing_kwargs": [list(pair) for pair in self.timing_kwargs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentPoint":
+        """Rebuild a point from :meth:`to_dict` output (JSON round-trip safe)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("point payload must be a JSON object")
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown point fields: {sorted(unknown)}")
+        data = dict(payload)
+        for name in ("cache_kwargs", "system_kwargs", "timing_kwargs"):
+            if name in data:
+                data[name] = freeze_kwargs(
+                    (str(key), value) for key, value in data[name]
+                )
+        return cls(**data)
+
 
 def _str_tuple(value: Union[str, Sequence[str]]) -> Tuple[str, ...]:
     return (value,) if isinstance(value, str) else tuple(value)

@@ -17,6 +17,11 @@ Layers (each importable on its own):
   between-points cancellation, optional JSONL journal;
 * :mod:`repro.serve.service` — framework-neutral API semantics plus
   the ``(method, path)`` router both frontends share;
+* :mod:`repro.serve.coordinator` / :mod:`repro.serve.worker` — the
+  distributed-sweep protocol: leased shards with deadlines, streamed
+  result delivery, merge-folded completion (``python -m repro worker``
+  is the fleet side; :mod:`repro.serve.faults` is its seeded
+  fault-injection harness);
 * :mod:`repro.serve.httpd` — the dependency-free stdlib frontend
   (``python -m repro serve`` default);
 * :mod:`repro.serve.fastapi_app` — the FastAPI/uvicorn frontend
@@ -30,6 +35,7 @@ Start it from the command line::
 and drive it with curl — see the README's "Serving" walkthrough.
 """
 
+from repro.serve.coordinator import Coordinator, CoordinatorError
 from repro.serve.jobs import (
     Job,
     JobCancelled,
@@ -37,6 +43,7 @@ from repro.serve.jobs import (
     JobState,
     spec_from_payload,
 )
+from repro.serve.worker import LeaseLost, WorkerKilled, WorkerLoop
 from repro.serve.service import (
     API_PREFIX,
     API_ROUTES,
@@ -52,13 +59,18 @@ __all__ = [
     "API_PREFIX",
     "API_ROUTES",
     "API_VERSION",
+    "Coordinator",
+    "CoordinatorError",
     "Job",
     "JobCancelled",
     "JobManager",
     "JobState",
+    "LeaseLost",
     "Response",
     "ServiceError",
     "SimulationService",
+    "WorkerKilled",
+    "WorkerLoop",
     "dispatch",
     "match_route",
     "spec_from_payload",

@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the distributed-sweep protocol.
+
+The test harness behind ``tests/test_distributed.py`` and the chaos
+property test: everything here is seeded and replayable, so a failing
+interleaving reproduces from its printed seed.
+
+* :class:`LocalTransport` — the transport protocol implemented directly
+  over :func:`repro.serve.service.dispatch`, no sockets: coordinator
+  calls become plain function calls, which makes single-stepped worker
+  tests fully deterministic.
+* :class:`FaultSchedule` — a seeded stream of per-call fault decisions
+  (drop the request, drop only the response, duplicate the request,
+  delay), optionally bounded (``max_faults``) so chaos runs provably
+  converge once the fault budget is spent.
+* :class:`FaultyTransport` — wraps any transport and applies a schedule.
+  ``drop-response`` is the nasty one: the coordinator processed the
+  call but the caller sees a failure — exactly the ambiguity real
+  networks produce — so retries turn into duplicate deliveries and
+  abandoned-but-folded shards, which the protocol must absorb.
+* :class:`FaultyWorker` — a :class:`~repro.serve.worker.WorkerLoop` that
+  raises :class:`~repro.serve.worker.WorkerKilled` before delivering its
+  ``kill_after``-th result: a deterministic mid-shard crash.
+* :class:`WorkerThread` — runs a worker loop on a thread, capturing its
+  terminal exception instead of letting it die silently.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Callable, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.service import SimulationService, dispatch
+from repro.serve.worker import WorkerKilled, WorkerLoop
+
+from repro.exp.backends.distributed import TransportError
+
+
+class LocalTransport:
+    """The transport protocol over an in-process service (no sockets)."""
+
+    def __init__(self, service: SimulationService):
+        self.service = service
+
+    def call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        split = urlsplit(path)
+        body = None if payload is None else json.dumps(payload).encode()
+        response = dispatch(
+            self.service, method, split.path, dict(parse_qsl(split.query)), body
+        )
+        parsed = json.loads(response.body_bytes())
+        if response.status >= 400:
+            raise TransportError(
+                f"{method} {split.path} -> {response.status}: "
+                f"{parsed.get('error')}",
+                status=response.status,
+            )
+        return parsed
+
+
+class FaultSchedule:
+    """Seeded per-call fault decisions, replayable from the seed.
+
+    Probabilities are independent per call, drawn in a fixed order from
+    one ``random.Random(seed)`` stream; ``match`` restricts injection to
+    some calls (e.g. only result deliveries); ``max_faults`` caps how
+    many faults fire in total — after that the schedule is clean, which
+    bounds chaos tests away from livelock.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        drop: float = 0.0,
+        drop_response: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.01,
+        max_faults: Optional[int] = None,
+        match: Optional[Callable[[str, str], bool]] = None,
+    ):
+        self.seed = seed
+        self.drop = drop
+        self.drop_response = drop_response
+        self.duplicate = duplicate
+        self.delay = delay
+        self.delay_seconds = delay_seconds
+        self.max_faults = max_faults
+        self.match = match
+        self.injected = 0
+        self.calls = 0
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def draw(self, method: str, path: str) -> Optional[str]:
+        """The fault for this call, or None (thread-safe, ordered)."""
+        with self._lock:
+            self.calls += 1
+            if self.max_faults is not None and self.injected >= self.max_faults:
+                return None
+            if self.match is not None and not self.match(method, path):
+                return None
+            # One draw per knob, every call, so the random stream's
+            # position depends only on the call sequence — not on which
+            # faults happened to fire earlier.
+            draws = [self._random.random() for _ in range(4)]
+            for name, probability, value in (
+                ("drop", self.drop, draws[0]),
+                ("drop-response", self.drop_response, draws[1]),
+                ("duplicate", self.duplicate, draws[2]),
+                ("delay", self.delay, draws[3]),
+            ):
+                if probability and value < probability:
+                    self.injected += 1
+                    return name
+            return None
+
+
+class FaultyTransport:
+    """Apply a :class:`FaultSchedule` to an inner transport."""
+
+    def __init__(
+        self,
+        inner,
+        schedule: FaultSchedule,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self._sleep = sleep
+
+    def call(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        fault = self.schedule.draw(method, path)
+        if fault == "drop":
+            raise TransportError(f"injected fault: {method} {path} dropped")
+        if fault == "drop-response":
+            self.inner.call(method, path, payload)
+            raise TransportError(
+                f"injected fault: {method} {path} response dropped"
+            )
+        if fault == "duplicate":
+            self.inner.call(method, path, payload)
+            return self.inner.call(method, path, payload)
+        if fault == "delay":
+            self._sleep(self.schedule.delay_seconds)
+        return self.inner.call(method, path, payload)
+
+
+class FaultyWorker(WorkerLoop):
+    """A worker that crashes before delivering result ``kill_after + 1``.
+
+    The crash is positional, not probabilistic: ``kill_after=2`` always
+    dies with two results delivered — mid-shard whenever the shard holds
+    more points — so crash tests are exactly reproducible.
+    """
+
+    def __init__(self, *args, kill_after: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kill_after = int(kill_after)
+
+    def _before_delivery(self) -> None:
+        if self.delivered_total >= self.kill_after:
+            raise WorkerKilled(
+                f"{self.worker_id} killed after {self.delivered_total} result(s)"
+            )
+
+
+class WorkerThread(threading.Thread):
+    """Run a worker loop on a daemon thread, capturing how it ended."""
+
+    def __init__(self, worker: WorkerLoop):
+        super().__init__(daemon=True, name=worker.worker_id)
+        self.worker = worker
+        self.failure: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.worker.run()
+        except BaseException as error:  # captured for the test to assert on
+            self.failure = error
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.worker.request_stop()
+        self.join(timeout=timeout)
+
+
+__all__ = [
+    "FaultSchedule",
+    "FaultyTransport",
+    "FaultyWorker",
+    "LocalTransport",
+    "WorkerThread",
+]

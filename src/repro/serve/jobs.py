@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import secrets
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -223,6 +224,7 @@ class JobManager:
         self.backend = backend
         self.use_cache = use_cache
         self.journal_path = journal_path
+        self._journal_broken = False
         self.run_id = secrets.token_hex(4)
         self._sequence = 0
         self._jobs: Dict[str, Job] = {}
@@ -352,30 +354,43 @@ class JobManager:
                     backend=make_backend(self.backend, jobs=self.jobs),
                 )
                 runner.run(job.spec)
-            job.finish(JobState.DONE)
+            finished = job.finish(JobState.DONE)
         except JobCancelled:
-            job.finish(JobState.CANCELLED)
+            finished = job.finish(JobState.CANCELLED)
         except Exception as error:  # noqa: BLE001 - fault isolation:
             # one bad point (or a renderer bug) fails *this* job; the
             # worker thread survives for the next one.
-            job.finish(JobState.FAILED, error=f"{type(error).__name__}: {error}")
-        self._journal_terminal(job)
+            finished = job.finish(
+                JobState.FAILED, error=f"{type(error).__name__}: {error}"
+            )
+        # finish() is first-transition-wins: if a racing cancel (or
+        # shutdown) already finished the job, it also journaled the
+        # terminal record — journaling here too would double it.
+        if finished:
+            self._journal_terminal(job)
 
     # -- journal -------------------------------------------------------
 
     def _journal(self, job: Job, event: str, **data: Any) -> None:
-        if self.journal_path is None:
+        if self.journal_path is None or self._journal_broken:
             return
         record = {
             "ts": time.time(), "run": self.run_id, "job": job.id,
             "event": event, **data,
         }
-        directory = os.path.dirname(self.journal_path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with file_lock(self.journal_path + ".lock"):
-            with open(self.journal_path, "a") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # An unwritable journal (read-only file, directory in the way,
+        # full disk) costs restart visibility, never the job itself: the
+        # manager keeps serving and warns once.
+        try:
+            directory = os.path.dirname(self.journal_path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with file_lock(self.journal_path + ".lock"):
+                with open(self.journal_path, "a") as handle:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as error:
+            self._journal_broken = True
+            print(f"warning: job journal disabled ({error})", file=sys.stderr)
 
     def _journal_terminal(self, job: Job) -> None:
         snapshot = job.snapshot()
@@ -398,7 +413,11 @@ class JobManager:
         if self.journal_path is None or not os.path.exists(self.journal_path):
             return []
         summaries: Dict[str, Dict[str, Any]] = {}
-        with open(self.journal_path) as handle:
+        try:
+            handle = open(self.journal_path)
+        except OSError:
+            return []  # unreadable journal: no history, not an error
+        with handle:
             for line in handle:
                 try:
                     record = json.loads(line)

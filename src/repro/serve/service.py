@@ -32,6 +32,7 @@ from urllib.parse import unquote
 
 from repro.caches.registry import design_names
 from repro.exp import ENGINE_VERSION, ResultStore
+from repro.serve.coordinator import Coordinator, CoordinatorError
 from repro.serve.jobs import Job, JobManager, JobState, spec_from_payload
 from repro.workloads.profiles import profile_names
 
@@ -55,6 +56,16 @@ API_ROUTES: Tuple[Tuple[str, str], ...] = (
     ("GET", f"{API_PREFIX}/jobs/{{id}}/events"),
     ("GET", f"{API_PREFIX}/jobs/{{id}}/results"),
     ("GET", f"{API_PREFIX}/journal"),
+    # Distributed-sweep coordinator (src/repro/serve/coordinator.py):
+    # submitters POST runs and page folded results; workers lease
+    # shards, stream deliveries, and mark shards complete.
+    ("POST", f"{API_PREFIX}/coordinator/runs"),
+    ("GET", f"{API_PREFIX}/coordinator/runs"),
+    ("GET", f"{API_PREFIX}/coordinator/runs/{{id}}"),
+    ("GET", f"{API_PREFIX}/coordinator/runs/{{id}}/results"),
+    ("POST", f"{API_PREFIX}/coordinator/lease"),
+    ("POST", f"{API_PREFIX}/coordinator/results"),
+    ("POST", f"{API_PREFIX}/coordinator/complete"),
 )
 
 #: CSV columns of the results export, in order.  Axis columns identify
@@ -97,9 +108,17 @@ class Response:
 class SimulationService:
     """API semantics over one :class:`~repro.serve.jobs.JobManager`."""
 
-    def __init__(self, manager: JobManager, allow_plugins: bool = False) -> None:
+    def __init__(
+        self,
+        manager: JobManager,
+        allow_plugins: bool = False,
+        coordinator: Optional[Coordinator] = None,
+    ) -> None:
         self.manager = manager
         self.allow_plugins = allow_plugins
+        self.coordinator = coordinator or Coordinator(
+            store_dir=manager.store_dir, allow_plugins=allow_plugins
+        )
 
     # -- introspection -------------------------------------------------
 
@@ -117,6 +136,7 @@ class SimulationService:
         by_state = {state.value: 0 for state in JobState}
         for job in jobs:
             by_state[job.snapshot()["state"]] += 1
+        runs = self.coordinator.list_runs()
         return {
             "status": "ok",
             "engine_version": ENGINE_VERSION,
@@ -125,6 +145,10 @@ class SimulationService:
             "store_records": len(store),
             "workers": self.manager.workers,
             "jobs": by_state,
+            "coordinator": {
+                "runs": len(runs),
+                "active": sum(1 for run in runs if run["state"] == "running"),
+            },
         }
 
     def designs(self) -> Dict[str, Any]:
@@ -182,6 +206,42 @@ class SimulationService:
     def journal(self) -> Dict[str, Any]:
         return {"journal": self.manager.journal_path,
                 "jobs": self.manager.history()}
+
+    # -- distributed coordinator ---------------------------------------
+
+    def _coordinator_call(self, call: Callable[[], Any]) -> Any:
+        try:
+            return call()
+        except CoordinatorError as error:
+            raise ServiceError(error.status, error.message) from None
+
+    def submit_run(self, payload: Any) -> Dict[str, Any]:
+        return self._coordinator_call(lambda: self.coordinator.submit(payload))
+
+    def list_runs(self) -> Dict[str, Any]:
+        return {"runs": self._coordinator_call(self.coordinator.list_runs)}
+
+    def run_status(self, run_id: str) -> Dict[str, Any]:
+        return self._coordinator_call(
+            lambda: self.coordinator.run_snapshot(run_id)
+        )
+
+    def run_results(self, run_id: str, since: int = 0) -> Dict[str, Any]:
+        return self._coordinator_call(
+            lambda: self.coordinator.run_results(run_id, since=since)
+        )
+
+    def lease_shard(self, payload: Any) -> Dict[str, Any]:
+        worker = None
+        if isinstance(payload, dict):
+            worker = payload.get("worker")
+        return self._coordinator_call(lambda: self.coordinator.lease(worker))
+
+    def deliver_result(self, payload: Any) -> Dict[str, Any]:
+        return self._coordinator_call(lambda: self.coordinator.deliver(payload))
+
+    def complete_shard(self, payload: Any) -> Dict[str, Any]:
+        return self._coordinator_call(lambda: self.coordinator.complete(payload))
 
     # -- events --------------------------------------------------------
 
@@ -425,6 +485,37 @@ def _h_results(service, params, query, body) -> Response:
     return Response(payload=service.results(params["id"]))
 
 
+def _h_submit_run(service, params, query, body) -> Response:
+    return Response(status=202, payload=service.submit_run(_json_body(body)))
+
+
+def _h_runs(service, params, query, body) -> Response:
+    return Response(payload=service.list_runs())
+
+
+def _h_run(service, params, query, body) -> Response:
+    return Response(payload=service.run_status(params["id"]))
+
+
+def _h_run_results(service, params, query, body) -> Response:
+    since = _int_query(query, "since", 0)
+    return Response(payload=service.run_results(params["id"], since=since))
+
+
+def _h_lease(service, params, query, body) -> Response:
+    # Leasing needs no parameters; a body, when present, names the worker.
+    payload = _json_body(body) if body else {}
+    return Response(payload=service.lease_shard(payload))
+
+
+def _h_deliver(service, params, query, body) -> Response:
+    return Response(payload=service.deliver_result(_json_body(body)))
+
+
+def _h_complete(service, params, query, body) -> Response:
+    return Response(payload=service.complete_shard(_json_body(body)))
+
+
 _HANDLERS: Dict[Tuple[str, str], RouteHandler] = {
     ("GET", f"{API_PREFIX}"): _h_index,
     ("GET", f"{API_PREFIX}/health"): _h_health,
@@ -441,6 +532,13 @@ _HANDLERS: Dict[Tuple[str, str], RouteHandler] = {
     ("GET", f"{API_PREFIX}/journal"): lambda service, p, q, b: Response(
         payload=service.journal()
     ),
+    ("POST", f"{API_PREFIX}/coordinator/runs"): _h_submit_run,
+    ("GET", f"{API_PREFIX}/coordinator/runs"): _h_runs,
+    ("GET", f"{API_PREFIX}/coordinator/runs/{{id}}"): _h_run,
+    ("GET", f"{API_PREFIX}/coordinator/runs/{{id}}/results"): _h_run_results,
+    ("POST", f"{API_PREFIX}/coordinator/lease"): _h_lease,
+    ("POST", f"{API_PREFIX}/coordinator/results"): _h_deliver,
+    ("POST", f"{API_PREFIX}/coordinator/complete"): _h_complete,
 }
 
 assert set(_HANDLERS) == set(API_ROUTES), "route table and handlers diverged"

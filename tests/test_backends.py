@@ -513,3 +513,74 @@ class TestRunFigureBackend:
             assert output.artifacts[0].text == "2 points"
         finally:
             registry_module._REGISTRY.pop(name, None)
+
+
+class TestProcessBackendErrorContext:
+    """Worker failures must name the experiment point that died.
+
+    A bare "division by zero" out of a 300-point sweep is undebuggable;
+    the backend rebuilds worker exceptions with the failing point's
+    label in the message (preserving the type so callers' ``except``
+    clauses keep working, and chaining the original as ``__cause__``).
+    """
+
+    def failing_point(self):
+        return ExperimentPoint(
+            workload="web_search", design="page", capacity_mb=64,
+            num_requests=N,
+        )
+
+    def test_in_process_path_names_the_point(self, monkeypatch):
+        import repro.exp.runner as runner_module
+
+        point = self.failing_point()
+
+        def explode(_point):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(runner_module, "run_point", explode)
+        backend = ProcessBackend(jobs=1)
+        with pytest.raises(ValueError, match="failed: boom") as excinfo:
+            list(backend.execute([point]))
+        assert point.label() in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_pool_path_names_the_originating_point(self, monkeypatch):
+        # Under fork the children inherit the patched runner module, and
+        # ``_worker``'s late import reads the patched attribute.
+        import repro.exp.runner as runner_module
+
+        points = [
+            self.failing_point(),
+            ExperimentPoint(workload="web_search", design="baseline",
+                            num_requests=N),
+        ]
+
+        def explode(point):
+            raise ValueError(f"boom seed={point.seed}")
+
+        monkeypatch.setattr(runner_module, "run_point", explode)
+        backend = ProcessBackend(
+            jobs=2, mp_context=multiprocessing.get_context("fork")
+        )
+        with pytest.raises(ValueError, match="^point .* failed: boom") as excinfo:
+            list(backend.execute(points))
+        assert any(p.label() in str(excinfo.value) for p in points)
+
+    def test_unrebuildable_exception_degrades_to_runtime_error(self, monkeypatch):
+        import repro.exp.runner as runner_module
+
+        class Picky(Exception):
+            def __init__(self, code, detail):
+                super().__init__(code, detail)
+
+        def explode(_point):
+            raise Picky(42, "no single-arg constructor")
+
+        monkeypatch.setattr(runner_module, "run_point", explode)
+        backend = ProcessBackend(jobs=1)
+        point = self.failing_point()
+        with pytest.raises(RuntimeError, match="failed") as excinfo:
+            list(backend.execute([point]))
+        assert point.label() in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, Picky)

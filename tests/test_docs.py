@@ -53,3 +53,88 @@ def test_checker_catches_bad_flags_and_values():
     finally:
         sys.path.remove(os.path.join(REPO_ROOT, "tools"))
         sys.path.remove(os.path.join(REPO_ROOT, "src"))
+
+
+def test_checker_validates_worker_flags_and_coordinator_routes():
+    """The distributed surface is held to the same standard.
+
+    ``worker`` invocations must use real flags, and the coordinator
+    routes must both (a) validate when documented and (b) be *required*
+    to appear in the docs (reverse coverage).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from check_docs import check_api_call, check_command
+
+        from repro.__main__ import build_parser
+        from repro.serve import API_ROUTES
+
+        parser = build_parser()
+        clean = (
+            "python -m repro worker --coordinator http://localhost:8000 --jobs 2",
+            "python -m repro worker --coordinator http://h:1 --max-idle 30",
+            "python -m repro worker --coordinator http://h:1 --kill-after 3",
+        )
+        for command in clean:
+            assert check_command(command, parser) == [], command
+        dirty = (
+            "python -m repro worker --coordinator http://h:1 --jobs lots",
+            "python -m repro worker --url http://h:1",          # unknown flag
+            "python -m repro worker --coordinator http://h:1 --backend threads",
+        )
+        for command in dirty:
+            assert check_command(command, parser), command
+
+        assert check_api_call("POST", "/api/v1/coordinator/lease", API_ROUTES) == []
+        assert check_api_call(
+            "GET", "/api/v1/coordinator/runs/$RUN/results", API_ROUTES
+        ) == []
+        # Wrong method / unknown route are still caught.
+        assert check_api_call("GET", "/api/v1/coordinator/lease", API_ROUTES)
+        assert check_api_call("POST", "/api/v1/coordinator/nope", API_ROUTES)
+    finally:
+        sys.path.remove(os.path.join(REPO_ROOT, "tools"))
+        sys.path.remove(os.path.join(REPO_ROOT, "src"))
+
+
+def test_every_route_must_be_demonstrated():
+    """Deleting a route's doc fence makes the check fail (reverse coverage)."""
+    import re
+    import shutil
+    import subprocess
+    import tempfile
+
+    scratch = tempfile.mkdtemp(prefix="repro-docs-")
+    try:
+        stage = os.path.join(scratch, "repo")
+        os.makedirs(os.path.join(stage, "benchmarks"))
+        os.makedirs(os.path.join(stage, "tools"))
+        for doc in ("README.md", "ARCHITECTURE.md"):
+            shutil.copy(os.path.join(REPO_ROOT, doc), os.path.join(stage, doc))
+        shutil.copy(
+            os.path.join(REPO_ROOT, "benchmarks", "README.md"),
+            os.path.join(stage, "benchmarks", "README.md"),
+        )
+        shutil.copy(
+            os.path.join(REPO_ROOT, "tools", "check_docs.py"),
+            os.path.join(stage, "tools", "check_docs.py"),
+        )
+        os.symlink(
+            os.path.join(REPO_ROOT, "src"), os.path.join(stage, "src")
+        )
+        readme = os.path.join(stage, "README.md")
+        with open(readme) as handle:
+            text = handle.read()
+        stripped = re.sub(r".*coordinator/lease.*\n", "", text)
+        assert stripped != text  # the fence line existed and was removed
+        with open(readme, "w") as handle:
+            handle.write(stripped)
+        result = subprocess.run(
+            [sys.executable, os.path.join(stage, "tools", "check_docs.py")],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "coordinator/lease is never demonstrated" in result.stdout
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)

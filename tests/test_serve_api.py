@@ -18,7 +18,6 @@ import pytest
 
 from repro.exp import ExperimentSpec, ResultStore, SweepRunner
 from repro.serve import API_PREFIX, JobManager, SimulationService
-from repro.serve.httpd import serve_in_thread
 from repro.sim.simulator import SimulationResult
 
 
@@ -38,19 +37,20 @@ def result_payload() -> dict:
 
 
 @pytest.fixture()
-def server(tmp_path, result_payload):
-    """(base_url, store) with the spec's seeds 0-3 already warm."""
+def server(tmp_path, result_payload, http_stack):
+    """(base_url, store) with the spec's seeds 0-3 already warm.
+
+    Built on the shared ``http_stack`` harness from ``conftest.py`` (the
+    same stack ``test_distributed.py`` drives), so this suite exercises
+    exactly the service composition the other one does — job manager
+    plus coordinator over one store, torn down by the fixtures.
+    """
     store = ResultStore(str(tmp_path / "store"))
     result = SimulationResult.from_dict(result_payload)
     for point in tiny_spec(seeds=(0, 1, 2, 3)).points():
         store.put(point, result)
-    manager = JobManager(store_dir=store.directory, workers=1)
-    service = SimulationService(manager)
-    http_server, _, base = serve_in_thread(service)
-    yield base, store
-    http_server.shutdown()
-    http_server.server_close()
-    manager.shutdown(wait=False)
+    base, _service = http_stack(store_dir=store.directory, workers=1)
+    return base, store
 
 
 def request(base, path, method="GET", payload=None):
@@ -102,6 +102,7 @@ def test_health_reports_store_and_workers(server):
     assert payload["status"] == "ok"
     assert payload["store_records"] == 4
     assert payload["workers"] == 1
+    assert payload["coordinator"] == {"runs": 0, "active": 0}
 
 
 def test_catalog_endpoints(server):
@@ -173,6 +174,50 @@ def test_event_pages_and_stream(server):
         assert response.headers["Content-Type"] == "application/x-ndjson"
         events = [json.loads(line) for line in response.read().splitlines()]
     assert [event["event"] for event in events] == names
+
+
+def test_stream_disconnect_mid_event_leaves_server_healthy(server):
+    """A client that hangs up mid-NDJSON-line must not hurt anything.
+
+    The handler thread writing the stream hits ``BrokenPipeError``; the
+    job keeps running to completion and the server keeps answering —
+    close-delimited streaming means the *client* is the only casualty
+    of its own disconnect.
+    """
+    import http.client
+    from urllib.parse import urlsplit
+
+    base, _ = server
+    # Cold seeds: the job simulates long enough for the stream to be
+    # live (not already terminated) when we cut the connection.
+    spec = tiny_spec(seeds=(70, 71, 72, 73, 74, 75))
+    _, submitted = request(base, "/jobs", method="POST", payload=spec.to_dict())
+    job_id = submitted["id"]
+
+    split = urlsplit(base)
+    connection = http.client.HTTPConnection(
+        split.hostname, split.port, timeout=30
+    )
+    try:
+        connection.request("GET", f"{API_PREFIX}/jobs/{job_id}/events")
+        response = connection.getresponse()
+        assert response.status == 200
+        # A few raw bytes — mid-event, not even one full NDJSON line.
+        assert len(response.read(10)) == 10
+    finally:
+        connection.close()  # slam the socket mid-stream
+
+    snapshot = poll_done(base, job_id)
+    assert snapshot["state"] == "done"
+    assert snapshot["progress"]["completed"] == 6
+    # The server (and a fresh stream) still work after the broken pipe.
+    status, payload = request(base, "/health")
+    assert status == 200 and payload["status"] == "ok"
+    with urllib.request.urlopen(
+        f"{base}{API_PREFIX}/jobs/{job_id}/events", timeout=30
+    ) as replay:
+        events = [json.loads(line) for line in replay.read().splitlines()]
+    assert events[-1]["event"] == "done"
 
 
 def test_cancel_queued_job_via_api(server):

@@ -16,6 +16,7 @@ Pins the contracts the serve layer promises:
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -208,6 +209,68 @@ def test_journal_survives_restart_with_restored_entries(
     restored = {entry["job"]: entry for entry in second.history()}
     assert restored[job.id]["restored"] is True
     assert restored[job.id]["state"] == "done"
+
+
+def test_unwritable_journal_degrades_without_hurting_jobs(
+    tmp_path, result_payload, manager_factory, capfd
+):
+    """Journal loss costs restart visibility, never the job itself.
+
+    A directory sitting where the journal file should be makes every
+    append raise ``IsADirectoryError``; the manager must warn once,
+    keep running jobs to completion, and serve an empty history.
+    (A 0444 file is no obstacle to root, which CI runs as — a directory
+    blocks ``open(..., "a")`` for every uid.)
+    """
+    spec = tiny_spec(seeds=(0, 1))
+    store = warm_store(tmp_path, result_payload, spec)
+    journal = tmp_path / "journal.jsonl"
+    journal.mkdir()
+
+    manager = manager_factory(store, journal_path=str(journal))
+    first = wait_terminal(manager.submit_spec(spec))
+    assert first["state"] == JobState.DONE.value
+    second = wait_terminal(manager.submit_spec(spec))
+    assert second["state"] == JobState.DONE.value
+
+    assert manager.history() == []
+    warnings = [
+        line for line in capfd.readouterr().err.splitlines()
+        if "job journal disabled" in line
+    ]
+    assert len(warnings) == 1  # warned once, then silently degraded
+
+
+def test_cancel_racing_completion_journals_one_terminal_record(
+    tmp_path, result_payload, manager_factory
+):
+    """finish() is first-transition-wins — and so is the journal.
+
+    ``shutdown`` cancels a running job at the same time as the worker
+    thread is finishing it; whichever side wins, the journal must hold
+    exactly one terminal record per job (the loser's ``finish`` returns
+    False and must not journal again).
+    """
+    spec = tiny_spec(seeds=(40, 41, 42, 43))  # cold: actually simulates
+    store = ResultStore(str(tmp_path / "store"))
+    journal = str(tmp_path / "journal.jsonl")
+    manager = manager_factory(store, journal_path=journal)
+
+    job = manager.submit_spec(spec)
+    wait_for_point_event(job)
+    manager.shutdown(wait=False)  # cancel races the running worker
+    manager.shutdown(wait=True)   # join the pool; finish() no-ops now
+
+    assert job.snapshot()["state"] in ("done", "cancelled")
+    with open(journal) as handle:
+        records = [json.loads(line) for line in handle]
+    terminal = [
+        record for record in records
+        if record["job"] == job.id
+        and record["event"] in ("done", "failed", "cancelled")
+    ]
+    assert len(terminal) == 1, terminal
+    assert terminal[0]["event"] == job.snapshot()["state"]
 
 
 def test_unknown_figure_raises_before_enqueue(

@@ -225,6 +225,7 @@ def main() -> int:
     parser = build_parser()
     failures = []
     all_commands = []
+    documented_calls = []
     api_calls = 0
     for doc in DOC_FILES:
         path = os.path.join(REPO_ROOT, doc)
@@ -237,6 +238,7 @@ def main() -> int:
                 failures.append(f"{doc}:{number}: {command!r}: {problem}")
         calls = list(iter_fenced_api_calls(text))
         api_calls += len(calls)
+        documented_calls.extend(calls)
         for number, method, api_path in calls:
             for problem in check_api_call(method, api_path, API_ROUTES):
                 failures.append(f"{doc}:{number}: {problem}")
@@ -257,6 +259,18 @@ def main() -> int:
         failures.append(
             f"subcommand {name!r} is never demonstrated in {', '.join(DOC_FILES)}"
         )
+    # ... and every live API route must be demonstrated too: a route in
+    # the table with no doc fence exercising it is undocumented surface
+    # (this is what forces the coordinator/worker protocol into the docs).
+    for method, template in API_ROUTES:
+        if not any(
+            m == method and _template_matches(template, p)
+            for _, m, p in documented_calls
+        ):
+            failures.append(
+                f"API route {method} {template} is never demonstrated in "
+                f"{', '.join(DOC_FILES)}"
+            )
     if failures:
         print("\nDocs/CLI inconsistencies:")
         for failure in failures:
