@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the observability layer (run by CI's obs-smoke
+# job).
+#
+# Runs the distributed fig01 ideal grid with span tracing on
+# ($REPRO_TRACE, inherited by the server, the fleet and the submitter),
+# injects a worker crash mid-run, and then proves the telemetry story:
+#
+#  * /metrics (Prometheus text) and /api/v1/metrics (JSON) answer
+#    mid-run, and the text format parses line-for-line;
+#  * every span in the trace validates against the checked-in schema,
+#    every delivered point is covered by at least one span, and no
+#    span references a parent id outside the file;
+#  * `repro obs summarize` reconstructs the crash from the trace alone:
+#    a lease expiry, a reassignment, per-worker delivery counts;
+#  * with tracing enabled the golden artifacts do not move by a byte:
+#    fig01 re-rendered from the checked-in store cmp-equals the
+#    committed benchmarks/results/fig01_opportunity.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+PORT=${PORT:-8793}
+BASE="http://127.0.0.1:$PORT"
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+export REPRO_TRACE="$WORK/trace.ndjson"
+
+# The fig01 ideal grid as a spec file (12 points).
+python - "$WORK" <<'PY'
+import sys
+from repro.reporting import get_figure
+
+spec = get_figure("fig01").specs["ideal"]
+with open(f"{sys.argv[1]}/spec_ideal.json", "w") as handle:
+    handle.write(spec.to_json())
+with open(f"{sys.argv[1]}/keys.json", "w") as handle:
+    import json
+    json.dump([point.key() for point in spec.points()], handle)
+print(f"spec_ideal.json: {len(spec.points())} point(s)")
+PY
+
+python -m repro serve --host 127.0.0.1 --port "$PORT" --workers 1 \
+    --store "$WORK/coord_store" --journal none \
+    --coordinator-journal none --lease-seconds 5 --quiet &
+PIDS+=($!)
+
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/api/v1/health" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/api/v1/health"; echo
+
+# The faulty worker joins first, alone, so it is guaranteed to lease
+# work; --kill-after 3 crashes it mid-shard (exit code 3).
+set +e
+python -m repro worker --coordinator "$BASE" --id faulty --kill-after 3 &
+FAULTY=$!
+set -e
+
+python -m repro sweep --spec "$WORK/spec_ideal.json" \
+    --coordinator "$BASE" --dist-shards 6 \
+    --store "$WORK/dist_store" >"$WORK/sweep.out" &
+SWEEP=$!
+PIDS+=($SWEEP)
+
+set +e
+wait "$FAULTY"
+FAULTY_STATUS=$?
+set -e
+echo "faulty worker exited with status $FAULTY_STATUS (want 3)"
+test "$FAULTY_STATUS" -eq 3
+
+# Scrape both exposition formats mid-run, while the sweep is live.
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt"
+curl -fsS "$BASE/api/v1/metrics" >"$WORK/metrics.json"
+
+# A healthy worker absorbs the reassigned lease and finishes the run.
+python -m repro worker --coordinator "$BASE" --id healthy --jobs 2 --quiet &
+PIDS+=($!)
+
+wait "$SWEEP"
+tail -n 2 "$WORK/sweep.out"
+
+# One more scrape after completion (counters must have moved).
+curl -fsS "$BASE/metrics" >"$WORK/metrics_done.txt"
+
+# Prometheus text format: HELP/TYPE lines, every sample line numeric.
+python - "$WORK" <<'PY'
+import json, sys
+
+work = sys.argv[1]
+for name in ("metrics.txt", "metrics_done.txt"):
+    text = open(f"{work}/{name}").read()
+    assert text.endswith("\n"), name
+    names = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            names.add(line.split()[2])
+            continue
+        metric, value = line.rsplit(" ", 1)
+        float(value)
+        assert any(metric.startswith(n) for n in names), line
+payload = json.load(open(f"{work}/metrics.json"))
+assert payload["service"] == "repro-serve"
+metrics = payload["metrics"]
+# The registry is per-process: worker-side counters live in the worker
+# processes; the server exposes its own view (coordinator events, job
+# gauges, trace cache) — fleet deliveries show up as coordinator events.
+for required in (
+    "repro_coordinator_events_total",
+    "repro_serve_jobs_running",
+    "repro_serve_queue_depth",
+    "repro_trace_cache_entries",
+):
+    assert required in metrics, sorted(metrics)
+done = open(f"{work}/metrics_done.txt").read()
+assert 'repro_coordinator_events_total{event="expired"} 1' in done, done
+print("metrics exposition: prometheus text valid, JSON snapshot complete")
+PY
+
+# Span coverage: every record schema-valid, every delivered point
+# traced on both sides of the protocol, no orphaned parent ids.
+python - "$WORK" <<'PY'
+import json, sys
+
+from repro.obs.spans import load_span_schema, validate_span
+
+work = sys.argv[1]
+keys = set(json.load(open(f"{work}/keys.json")))
+schema = load_span_schema()
+records = [json.loads(line) for line in open(f"{work}/trace.ndjson")]
+assert records, "tracing produced no spans"
+for record in records:
+    problems = validate_span(record, schema)
+    assert not problems, (problems, record)
+ids = {record["span"] for record in records}
+orphans = [
+    r for r in records
+    if r["parent"] is not None and r["parent"] not in ids
+]
+assert not orphans, orphans[:3]
+worker_keys = {
+    r["attrs"]["key"] for r in records if r["name"] == "worker.deliver"
+}
+coord_keys = {
+    r["attrs"]["key"] for r in records
+    if r["name"] == "coordinator.deliver"
+}
+assert keys <= worker_keys, sorted(keys - worker_keys)
+assert keys <= coord_keys, sorted(keys - coord_keys)
+processes = {record["process"] for record in records}
+assert len(processes) >= 3, processes  # serve, workers, submitter
+print(
+    f"span coverage: {len(records)} valid span(s), 0 orphans, "
+    f"{len(keys)} point(s) covered, processes={sorted(processes)}"
+)
+PY
+
+# The crash is reconstructable from telemetry alone.
+python -m repro obs summarize "$WORK/trace.ndjson"
+python -m repro obs summarize "$WORK/trace.ndjson" --json >"$WORK/summary.json"
+python - "$WORK/summary.json" <<'PY'
+import json, sys
+
+summary = json.load(open(sys.argv[1]))
+assert summary["invalid"] == 0, summary
+assert summary["orphans"] == 0, summary
+leases = summary["leases"]
+assert leases["expired"] >= 1 and leases["reassigned"] >= 1, leases
+assert leases["conflicts"] == 0, leases
+workers = {row["worker"]: row["points"] for row in summary["workers"]}
+assert workers.get("faulty", 0) >= 1, workers
+assert workers.get("healthy", 0) >= 1, workers
+assert sum(workers.values()) >= 12, workers
+print("telemetry reconstruction:", leases, workers)
+PY
+
+# Byte-parity gate: rendering fig01 from the checked-in store with
+# tracing still enabled must reproduce the committed artifact exactly.
+python -m repro report fig01 --quiet --out "$WORK/artifacts"
+cmp benchmarks/results/fig01_opportunity.txt \
+    "$WORK/artifacts/fig01_opportunity.txt"
+echo "obs smoke: metrics, spans and summarize OK; artifacts byte-identical with tracing on"

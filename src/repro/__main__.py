@@ -48,6 +48,17 @@ stream progress, fetch results/figures; warm store points answer
 instantly, misses fan out through the execution backend::
 
     python -m repro serve --host 0.0.0.0 --port 8000 --workers 2 --jobs 4
+
+Every command shares the observability flags: ``-v``/``--quiet`` drive
+the structured stderr logger, and ``--trace FILE`` (or
+``$REPRO_TRACE``) appends NDJSON spans from every layer — runner,
+backends, serve, coordinator, workers — to one file, summarised with::
+
+    python -m repro sweep --spec spec.json --trace trace.ndjson
+    python -m repro obs summarize trace.ndjson
+
+Live metrics are exposed by ``repro serve`` as JSON at
+``/api/v1/metrics`` and Prometheus text at ``/metrics``.
 """
 
 from __future__ import annotations
@@ -59,6 +70,7 @@ import time
 
 from repro.analysis.report import format_table, percent
 from repro.caches.registry import design_names
+from repro.obs import configure_logging, configure_tracer
 from repro.exp import (
     BACKEND_NAMES,
     ExperimentSpec,
@@ -89,6 +101,32 @@ def _shard(text: str):
         return parse_shard(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error))
+
+
+def _obs_flags(parser, trace: bool = True, quiet: bool = True) -> None:
+    """The shared observability flags: ``-v``, ``--quiet``, ``--trace``.
+
+    Every subcommand gets the same ``-v/--quiet`` verbosity ladder
+    (``repro.obs.log``: quiet -> warnings only, default -> info,
+    ``-v`` -> debug); commands that already define a ``--quiet`` with
+    extra output-suppression semantics pass ``quiet=False`` and keep
+    their own flag — it still feeds :func:`configure_logging`.
+    """
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="verbose structured logging on stderr (repeatable)",
+    )
+    if quiet:
+        parser.add_argument(
+            "--quiet", action="store_true",
+            help="log only warnings and errors",
+        )
+    if trace:
+        parser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="append NDJSON spans to FILE (exported as $REPRO_TRACE so "
+            "worker processes share it; analyse with 'repro obs summarize')",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (default interp; vector requires NumPy and "
         "is byte-identical, just faster)",
     )
+    _obs_flags(parser)
 
     commands = parser.add_subparsers(dest="command", metavar="command")
     sweep = commands.add_parser(
@@ -219,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store directory (default benchmarks/results/cache, "
         "or $REPRO_RESULT_STORE)",
     )
+    _obs_flags(sweep)
 
     report = commands.add_parser(
         "report",
@@ -278,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-point progress and rendered tables; print only "
         "the summary lines",
     )
+    _obs_flags(report, quiet=False)
 
     perf = commands.add_parser(
         "perf",
@@ -338,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="append-only run log (default BENCH_history.jsonl at the repo "
         "root; one JSONL record per engine/design measured)",
     )
+    _obs_flags(perf, trace=False)
 
     serve = commands.add_parser(
         "serve",
@@ -408,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-shard lease deadline for distributed runs "
         "(default 60; submitters may override per run)",
     )
+    _obs_flags(serve, quiet=False)
 
     worker = commands.add_parser(
         "worker",
@@ -469,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-shard progress lines",
     )
+    _obs_flags(worker, quiet=False)
 
     store = commands.add_parser(
         "store",
@@ -500,6 +544,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store directory (default benchmarks/results/cache, "
         "or $REPRO_RESULT_STORE)",
     )
+    _obs_flags(store, trace=False)
+
+    obs = commands.add_parser(
+        "obs",
+        help="analyse observability artifacts (span traces)",
+        description="Work with the NDJSON span traces written by "
+        "--trace/$REPRO_TRACE: 'summarize' validates every record "
+        "against the checked-in span schema and renders a per-phase "
+        "time profile, the store hit ratio, per-worker throughput and "
+        "the lease ledger of any distributed runs in the trace.",
+    )
+    obs.add_argument(
+        "action", choices=("summarize",),
+        help="summarize: per-phase profile of one trace file",
+    )
+    obs.add_argument(
+        "trace_file", metavar="TRACE.ndjson",
+        help="span trace written by --trace or $REPRO_TRACE",
+    )
+    obs.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per table (default 10)",
+    )
+    obs.add_argument(
+        "--json", action="store_true", dest="obs_json",
+        help="emit the raw summary as JSON instead of tables",
+    )
+    _obs_flags(obs, trace=False)
     return parser
 
 
@@ -631,7 +703,7 @@ def _run_sweep(args) -> int:
         store=store,
         jobs=args.jobs,
         use_cache=not args.no_cache,
-        progress=progress,
+        progress=None if args.quiet else progress,
         backend=backend,
         plugins=plugins,
     )
@@ -660,14 +732,15 @@ def _run_sweep(args) -> int:
         )
         for point, result in sweep.items()
     ]
-    print()
-    print(
-        format_table(
-            ("point", "requests", "miss ratio", "off-chip traffic", "IPC"),
-            rows,
-            title=f"Sweep over {len(sweep)} points",
+    if not args.quiet:
+        print()
+        print(
+            format_table(
+                ("point", "requests", "miss ratio", "off-chip traffic", "IPC"),
+                rows,
+                title=f"Sweep over {len(sweep)} points",
+            )
         )
-    )
     shard = (
         f"shard {args.shard[0]}/{args.shard[1]}: " if args.shard is not None else ""
     )
@@ -1014,6 +1087,26 @@ def _run_store(args) -> int:
             ("reclaimable", str(stats.reclaimable)),
         ]
         print(format_table(("metric", "value"), rows, title=f"Store {stats.path}"))
+
+        from repro.workloads.trace import shared_trace_cache
+
+        cache = shared_trace_cache().stats()
+        hit_rate = cache["hit_rate"]
+        cache_rows = [
+            ("entries", f"{cache['entries']} / {cache['max_entries']}"),
+            ("hits / misses", f"{cache['hits']} / {cache['misses']}"),
+            ("hit rate", percent(hit_rate) if hit_rate is not None else "-"),
+            ("evictions", str(cache["evictions"])),
+            ("cached requests", str(cache["cached_requests"])),
+            ("resident bytes", str(cache["resident_bytes"])),
+        ]
+        print()
+        print(
+            format_table(
+                ("metric", "value"), cache_rows,
+                title="Trace cache (this process)",
+            )
+        )
         return 0
 
     if args.action == "gc":
@@ -1058,8 +1151,36 @@ def _run_store_merge(args) -> int:
     return 0
 
 
+def _run_obs(args) -> int:
+    # Imported lazily: only the obs subcommand reads traces back.
+    import json
+
+    from repro.obs import render_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace_file, top=args.top)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    if args.obs_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "verbose", 0),
+        quiet=bool(getattr(args, "quiet", False)),
+    )
+    trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    if trace_path:
+        # Re-configure even when the path came from the environment so
+        # every entrypoint labels its spans (cli.serve, cli.worker, ...)
+        # instead of the anonymous per-process default.
+        configure_tracer(trace_path, process=f"cli.{args.command or 'run'}")
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "report":
@@ -1072,6 +1193,8 @@ def main(argv=None) -> int:
         return _run_worker(args)
     if args.command == "store":
         return _run_store(args)
+    if args.command == "obs":
+        return _run_obs(args)
     return _run_single(args)
 
 

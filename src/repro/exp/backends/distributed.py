@@ -30,6 +30,8 @@ from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Uni
 
 from repro.exp.backends.base import SweepBackend
 from repro.exp.spec import ExperimentPoint
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
 from repro.sim.simulator import SimulationResult
 
 COORDINATOR_PREFIX = "/api/v1/coordinator"
@@ -155,6 +157,18 @@ class DistributedBackend(SweepBackend):
             return
         run = self.submit(points, plugins)
         run_id = run["id"]
+        registry().counter(
+            "repro_backend_points_total",
+            "points dispatched per execution backend",
+            backend=self.name,
+        ).inc(len(points))
+        tracer().event(
+            "backend.fanout",
+            backend=self.name,
+            run=run_id,
+            shards=run.get("shards", self.shards),
+            points=len(points),
+        )
         by_key = {point.key(): point for point in points}
         deadline = (
             None

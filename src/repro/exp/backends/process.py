@@ -9,6 +9,8 @@ from typing import Iterator, Sequence, Tuple
 from repro.exp.backends.base import SweepBackend
 from repro.exp.plugins import load_plugins
 from repro.exp.spec import ExperimentPoint
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
 from repro.sim.simulator import SimulationResult
 
 
@@ -79,6 +81,14 @@ class ProcessBackend(SweepBackend):
         load_plugins(plugins)  # the parent resolves configs/keys too
         points = tuple(points)
         jobs = min(self.jobs, len(points))
+        registry().counter(
+            "repro_backend_points_total",
+            "points dispatched per execution backend",
+            backend=self.name,
+        ).inc(len(points))
+        tracer().event(
+            "backend.fanout", backend=self.name, jobs=jobs, points=len(points)
+        )
         if jobs <= 1:
             from repro.exp import runner
 

@@ -31,6 +31,8 @@ from repro.exp.backends import SweepBackend, make_backend
 from repro.exp.plugins import load_plugins, merge_plugins
 from repro.exp.spec import ExperimentPoint, ExperimentSpec
 from repro.exp.store import ResultStore
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
 from repro.sim.simulator import SimulationResult, Simulator
 
 _POINT_FIELDS = frozenset(ExperimentPoint.__dataclass_fields__)
@@ -48,9 +50,26 @@ def run_point(point: ExperimentPoint) -> SimulationResult:
     not part of the experiment key and never reaches the store.  The
     variable also propagates to process-pool and sharded workers for
     free.
+
+    With tracing on (``$REPRO_TRACE``), the whole simulation is one
+    ``point.simulate`` span — emitted from whichever process ran the
+    point, including pool workers and fleet members, since they inherit
+    the sink through the environment.  The span wraps the point, never
+    the replay loop: zero per-request overhead either way.
     """
     engine = os.environ.get("REPRO_ENGINE") or None
-    return Simulator(point.config(), engine=engine).run()
+    trace = tracer()
+    if not trace.enabled:
+        return Simulator(point.config(), engine=engine).run()
+    with trace.span(
+        "point.simulate",
+        key=point.key(),
+        label=point.label(),
+        design=point.design,
+        workload=str(point.workload),
+        engine=engine or "interp",
+    ):
+        return Simulator(point.config(), engine=engine).run()
 
 
 @dataclass(frozen=True)
@@ -235,52 +254,92 @@ class SweepRunner:
             plugins = merge_plugins(self.plugins, plugins)
         load_plugins(plugins)
         points = tuple(self.backend.select(points))
-        results: Dict[ExperimentPoint, SimulationResult] = {}
-        cached: List[ExperimentPoint] = []
-        pending: List[ExperimentPoint] = []
-        pending_keys = set()
-        for point in points:
-            hit = (
-                self.store.get(point)
-                if self.store is not None and self.use_cache
-                else None
-            )
-            if hit is not None:
-                results[point] = hit
-                cached.append(point)
-            elif point.key() not in pending_keys:
-                # Distinct spellings of one config (e.g. a default written
-                # out explicitly) simulate once and share the result.
-                pending_keys.add(point.key())
-                pending.append(point)
+        trace = tracer()
+        backend_name = getattr(
+            self.backend, "name", type(self.backend).__name__
+        )
+        with trace.span(
+            "sweep.run", backend=backend_name, points=len(points)
+        ) as run_span:
+            results: Dict[ExperimentPoint, SimulationResult] = {}
+            cached: List[ExperimentPoint] = []
+            pending: List[ExperimentPoint] = []
+            pending_keys = set()
+            for point in points:
+                hit = (
+                    self.store.get(point)
+                    if self.store is not None and self.use_cache
+                    else None
+                )
+                if hit is not None:
+                    results[point] = hit
+                    cached.append(point)
+                elif point.key() not in pending_keys:
+                    # Distinct spellings of one config (e.g. a default written
+                    # out explicitly) simulate once and share the result.
+                    pending_keys.add(point.key())
+                    pending.append(point)
 
-        done = 0
+            done = 0
 
-        def report(point: ExperimentPoint, was_cached: bool) -> None:
-            nonlocal done
-            done += 1
-            if self.progress is not None:
-                self.progress(SweepProgress(done, len(points), point, was_cached))
+            def report(point: ExperimentPoint, served: str) -> None:
+                nonlocal done
+                done += 1
+                if trace.enabled:
+                    trace.event(
+                        "sweep.point",
+                        key=point.key(),
+                        label=point.label(),
+                        served=served,
+                    )
+                if self.progress is not None:
+                    self.progress(
+                        SweepProgress(
+                            done, len(points), point, served != "simulated"
+                        )
+                    )
 
-        for point in cached:
-            report(point, True)
+            for point in cached:
+                report(point, "store")
 
-        if pending:
-            # Completion order, not submission order: each result is
-            # persisted the moment the backend yields it, so an
-            # interrupted sweep keeps everything already simulated.
-            for point, result in self.backend.execute(pending, plugins=plugins):
-                results[point] = result
-                if self.store is not None:
-                    self.store.put(point, result)
-                report(point, False)
+            if pending:
+                # Completion order, not submission order: each result is
+                # persisted the moment the backend yields it, so an
+                # interrupted sweep keeps everything already simulated.
+                with trace.span(
+                    "sweep.execute", backend=backend_name, pending=len(pending)
+                ):
+                    for point, result in self.backend.execute(
+                        pending, plugins=plugins
+                    ):
+                        results[point] = result
+                        if self.store is not None:
+                            self.store.put(point, result)
+                        report(point, "simulated")
 
-        # Key-duplicate points were simulated once; fill in the rest.
-        # They count as neither store hits nor simulations.
-        by_key = {point.key(): result for point, result in results.items()}
-        for point in points:
-            if point not in results:
-                results[point] = by_key[point.key()]
-                report(point, True)
+            # Key-duplicate points were simulated once; fill in the rest.
+            # They count as neither store hits nor simulations.
+            by_key = {point.key(): result for point, result in results.items()}
+            for point in points:
+                if point not in results:
+                    results[point] = by_key[point.key()]
+                    report(point, "duplicate")
 
+            run_span.annotate(hits=len(cached), simulated=len(pending))
+
+        reg = registry()
+        counter = reg.counter(
+            "repro_sweep_points_total",
+            "sweep points by how they were served",
+            served="store",
+        )
+        counter.inc(len(cached))
+        reg.counter(
+            "repro_sweep_points_total",
+            "sweep points by how they were served",
+            served="simulated",
+        ).inc(len(pending))
+        reg.counter(
+            "repro_sweep_runs_total", "completed sweep runs", backend=backend_name
+        ).inc()
         return SweepResult(points, results, cached, pending)

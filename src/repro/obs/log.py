@@ -1,0 +1,129 @@
+"""Structured stderr logging behind every ``-v``/``--quiet`` flag.
+
+One logger model for the whole CLI surface — ``repro sweep``, ``repro
+serve``, ``repro worker`` — replacing the ad-hoc ``print`` plumbing
+each subcommand grew separately.  Lines are human-readable but
+machine-greppable: a level, a component name, the message, then
+``key=value`` fields sorted by key:
+
+    serve.worker: lease acquired lease=a1b2 points=2 worker=w1
+
+Verbosity is process-global and set once by the CLI from the parsed
+flags (:func:`configure_logging`): ``--quiet`` → warnings and errors
+only, default → info, ``-v`` → debug.  Logs go to stderr so stdout
+stays the machine-readable channel (sweep progress tables, report
+output, JSON) that the smoke scripts pipe and diff.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, Optional, TextIO
+
+__all__ = [
+    "DEBUG",
+    "ERROR",
+    "INFO",
+    "Logger",
+    "WARNING",
+    "configure_logging",
+    "get_logger",
+    "verbosity",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warn", ERROR: "error"}
+
+_lock = threading.Lock()
+_level = INFO
+_stream: Optional[TextIO] = None  # None → sys.stderr at call time
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False,
+                      stream: Optional[TextIO] = None) -> None:
+    """Map the CLI's ``-v``/``--quiet`` flags onto the global level.
+
+    ``quiet`` wins over ``verbose`` so scripts can pass both safely.
+    """
+    global _level, _stream
+    with _lock:
+        if quiet:
+            _level = WARNING
+        elif verbose > 0:
+            _level = DEBUG
+        else:
+            _level = INFO
+        _stream = stream
+
+
+def verbosity() -> int:
+    """The active threshold (one of DEBUG/INFO/WARNING/ERROR)."""
+    return _level
+
+
+class Logger:
+    """A named logger; fields bound at construction prefix every line."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.fields = dict(fields or {})
+
+    def bind(self, **fields) -> "Logger":
+        """A child logger carrying extra fields (e.g. worker/lease ids)."""
+        merged = dict(self.fields)
+        merged.update(fields)
+        return Logger(self.name, merged)
+
+    def _log(self, level: int, message: str, fields: Dict[str, object]):
+        if level < _level:
+            return
+        merged = dict(self.fields)
+        merged.update(fields)
+        parts = [f"{self.name}: {message}"]
+        parts.extend(
+            f"{key}={_render(value)}" for key, value in sorted(merged.items())
+        )
+        if level >= WARNING:
+            parts.insert(0, f"{_LEVEL_NAMES[level]}:")
+        stream = _stream if _stream is not None else sys.stderr
+        with _lock:
+            print(" ".join(parts), file=stream, flush=True)
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._log(ERROR, message, fields)
+
+
+def _render(value: object) -> str:
+    text = str(value)
+    if " " in text or not text:
+        return repr(text)
+    return text
+
+
+_loggers: Dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The shared logger for ``name`` (one instance per name)."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = Logger(name)
+            _loggers[name] = logger
+        return logger

@@ -1,0 +1,291 @@
+"""Span tracing: monotonic-clock phases emitted as NDJSON records.
+
+A trace is one NDJSON file; each line is a span — a named phase with a
+``start`` on the monotonic clock, a ``duration`` in seconds, a 16-hex
+``span`` id and an optional ``parent`` id stitching records into a
+tree.  Instant happenings (a lease grant, a delivered point) are
+*events*: spans with ``duration`` 0.  Every record validates against
+the checked-in ``span_schema.json`` (see :func:`validate_span`, which
+the test suite and ``obs summarize`` both use).
+
+Tracing is off unless a sink is configured — ``--trace FILE`` on the
+CLI or ``$REPRO_TRACE`` in the environment.  :func:`configure_tracer`
+also exports the path through ``$REPRO_TRACE`` so worker processes
+(process pools, spawned fleets) inherit the sink; records are written
+with a single ``O_APPEND`` write each, so concurrent processes share
+one file without interleaving partial lines.
+
+The disabled tracer is a no-op whose ``span()`` context manager costs
+one attribute check — cheap enough for point boundaries, and nothing
+here is ever called from the per-request replay loop.
+
+>>> import tempfile, json, os
+>>> path = tempfile.mktemp()
+>>> t = Tracer(path, process="doctest")
+>>> with t.span("sweep.run", total=2) as run:
+...     t.event("sweep.point", parent=run.id, served="store")
+>>> records = [json.loads(line) for line in open(path)]
+>>> [r["name"] for r in records]
+['sweep.point', 'sweep.run']
+>>> records[0]["parent"] == records[1]["span"]
+True
+>>> os.unlink(path)
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import secrets
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "SPAN_SCHEMA_PATH",
+    "Span",
+    "Tracer",
+    "configure_tracer",
+    "load_span_schema",
+    "tracer",
+    "validate_span",
+]
+
+TRACE_ENV = "REPRO_TRACE"
+SPAN_SCHEMA = "repro-obs-span/1"
+SPAN_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "span_schema.json")
+
+_current_span: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _span_id() -> str:
+    return secrets.token_hex(8)
+
+
+class Span:
+    """An open span; closes (and emits) when its context manager exits."""
+
+    __slots__ = ("id", "parent", "name", "attrs", "_start", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, parent: Optional[str],
+                 attrs: Dict[str, object]) -> None:
+        self.id = _span_id()
+        self.parent = parent
+        self.name = name
+        self.attrs = attrs
+        self._start = time.monotonic()
+        self._tracer = tracer
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Emits spans as NDJSON lines appended to ``path``.
+
+    ``path=None`` builds the disabled tracer: every method is a no-op
+    and ``enabled`` is False.  One O_APPEND file descriptor is opened
+    lazily on first emit and kept for the process lifetime.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 process: Optional[str] = None) -> None:
+        self.path = path
+        self.process = process or "repro"
+        self._fd: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def _emit(self, name: str, span_id: str, parent: Optional[str],
+              start: float, duration: float,
+              attrs: Dict[str, object]) -> None:
+        if self.path is None:
+            return
+        record = {
+            "schema": SPAN_SCHEMA,
+            "span": span_id,
+            "parent": parent,
+            "name": name,
+            "process": self.process,
+            "pid": os.getpid(),
+            "ts": time.time(),
+            "start": start,
+            "duration": max(0.0, duration),
+            "attrs": {key: _coerce(value) for key, value in attrs.items()},
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        os.write(self._fd, line.encode("utf-8"))
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[str] = None,
+             **attrs) -> Iterator[Span]:
+        """Measure a phase; nested spans parent automatically."""
+        if self.path is None:
+            yield _NULL_SPAN
+            return
+        if parent is None:
+            parent = _current_span.get()
+        span = Span(self, name, parent, dict(attrs))
+        token = _current_span.set(span.id)
+        try:
+            yield span
+        finally:
+            _current_span.reset(token)
+            self._emit(name, span.id, span.parent, span._start,
+                       time.monotonic() - span._start, span.attrs)
+
+    def event(self, name: str, parent: Optional[str] = None,
+              **attrs) -> None:
+        """An instant span (duration 0)."""
+        if self.path is None:
+            return
+        if parent is None:
+            parent = _current_span.get()
+        self._emit(name, _span_id(), parent, time.monotonic(), 0.0,
+                   dict(attrs))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+
+class _NullSpan(Span):
+    """Shared placeholder the disabled tracer yields from ``span()``."""
+
+    def __init__(self) -> None:  # noqa: D401 - no tracer to bind
+        self.id = "0" * 16
+        self.parent = None
+        self.name = "null"
+        self.attrs = {}
+        self._start = 0.0
+        self._tracer = None
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _coerce(value):
+    """Attrs are flat scalars per the schema; anything else stringifies."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+_TRACER: Optional[Tracer] = None
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer, built from ``$REPRO_TRACE`` on first use."""
+    global _TRACER
+    if _TRACER is None:
+        _TRACER = Tracer(os.environ.get(TRACE_ENV) or None)
+    return _TRACER
+
+
+def configure_tracer(path: Optional[str],
+                     process: Optional[str] = None) -> Tracer:
+    """Point the process-wide tracer at ``path`` (None disables).
+
+    Exports ``$REPRO_TRACE`` so child processes — process-pool workers,
+    spawned fleet members — append spans to the same file.
+    """
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+    if path:
+        path = os.path.abspath(path)
+        os.environ[TRACE_ENV] = path
+    else:
+        os.environ.pop(TRACE_ENV, None)
+    _TRACER = Tracer(path or None, process=process)
+    return _TRACER
+
+
+def load_span_schema() -> dict:
+    """The checked-in span schema (``span_schema.json``)."""
+    with open(SPAN_SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_span(record: object, schema: Optional[dict] = None) -> List[str]:
+    """Validate one record against the span schema; [] means valid.
+
+    A dependency-free checker for the subset of JSON Schema the
+    checked-in schema uses: type unions, required, properties,
+    additionalProperties, enum, pattern, minimum.
+    """
+    if schema is None:
+        schema = load_span_schema()
+    errors: List[str] = []
+    _check(record, schema, "$", errors)
+    return errors
+
+
+_TYPES = {
+    "object": dict,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, names) -> bool:
+    for name in names:
+        expected = _TYPES[name]
+        if isinstance(value, expected):
+            # bool is an int subclass; don't let True pass as integer.
+            if name in ("number", "integer") and isinstance(value, bool):
+                continue
+            return True
+    return False
+
+
+def _check(value: object, schema: dict, path: str,
+           errors: List[str]) -> None:
+    names = schema.get("type")
+    if names is not None:
+        if isinstance(names, str):
+            names = [names]
+        if not _type_ok(value, names):
+            errors.append(f"{path}: expected {'|'.join(names)}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "pattern" in schema and isinstance(value, str):
+        import re
+        if re.fullmatch(schema["pattern"].strip("^$"), value) is None:
+            errors.append(f"{path}: {value!r} !~ {schema['pattern']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < {schema['minimum']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _check(item, properties[name], f"{path}.{name}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(extra, dict):
+                _check(item, extra, f"{path}.{name}", errors)

@@ -1,0 +1,212 @@
+"""Render a per-phase time profile from an NDJSON trace file.
+
+``python -m repro obs summarize TRACE.ndjson`` lands here.  The
+summary is computed once as a JSON-ready dict (:func:`summarize_trace`)
+and rendered as text tables (:func:`render_summary`), so the same
+numbers drive both the human report and ``--json`` pipelines — and the
+CI obs-smoke job asserts over them.
+
+What a trace reconstructs without any store access:
+
+* **top sinks** — per span name: count, total seconds, share of all
+  traced span time (nested spans each count their own wall time);
+* **store-hit ratio** — from ``sweep.point`` spans' ``served`` attr;
+* **per-worker throughput** — delivered points and points/s per worker
+  id, from ``worker.deliver`` events and ``worker.shard`` spans (the
+  coordinator's ``coordinator.deliver`` events are the fallback when
+  only the serve-side trace survives);
+* **lease churn** — grants, expiries, reassignments, duplicate
+  deliveries and conflicts, so a killed-worker run is fully
+  explainable from telemetry alone.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table, percent
+from repro.obs.spans import load_span_schema, validate_span
+
+__all__ = ["render_summary", "summarize_trace"]
+
+
+def _read_records(path: str):
+    """(records, invalid_count): parsed lines vs schema/JSON failures."""
+    schema = load_span_schema()
+    records: List[dict] = []
+    invalid = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                invalid += 1
+                continue
+            if validate_span(record, schema):
+                invalid += 1
+                continue
+            records.append(record)
+    return records, invalid
+
+
+def summarize_trace(path: str, top: int = 10) -> dict:
+    """Aggregate one trace file into a JSON-ready summary dict."""
+    records, invalid = _read_records(path)
+
+    ids = {record["span"] for record in records}
+    orphans = sum(
+        1 for record in records
+        if record["parent"] is not None and record["parent"] not in ids
+    )
+    processes = sorted({record["process"] for record in records})
+    timestamps = [record["ts"] for record in records]
+    wall = max(timestamps) - min(timestamps) if timestamps else 0.0
+
+    by_name: Dict[str, List[dict]] = defaultdict(list)
+    for record in records:
+        by_name[record["name"]].append(record)
+    traced = sum(record["duration"] for record in records) or 1.0
+    phases = sorted(
+        (
+            {
+                "name": name,
+                "count": len(group),
+                "total_seconds": round(
+                    sum(r["duration"] for r in group), 6
+                ),
+                "share": round(
+                    sum(r["duration"] for r in group) / traced, 4
+                ),
+            }
+            for name, group in by_name.items()
+        ),
+        key=lambda row: (-row["total_seconds"], row["name"]),
+    )
+
+    served = defaultdict(int)
+    for record in by_name.get("sweep.point", ()):
+        served[str(record["attrs"].get("served", "unknown"))] += 1
+    hits = served.get("store", 0)
+    total_points = sum(served.values())
+    points = {
+        "store": hits,
+        "simulated": served.get("simulated", 0),
+        "hit_ratio": round(hits / total_points, 4) if total_points else None,
+    }
+
+    deliveries = by_name.get("worker.deliver") or by_name.get(
+        "coordinator.deliver", []
+    )
+    per_worker_points: Dict[str, int] = defaultdict(int)
+    for record in deliveries:
+        worker = str(record["attrs"].get("worker", "?"))
+        if not record["attrs"].get("duplicate"):
+            per_worker_points[worker] += 1
+    per_worker_seconds: Dict[str, float] = defaultdict(float)
+    for record in by_name.get("worker.shard", ()):
+        per_worker_seconds[str(record["attrs"].get("worker", "?"))] += (
+            record["duration"]
+        )
+    workers = []
+    for worker in sorted(per_worker_points):
+        count = per_worker_points[worker]
+        seconds = per_worker_seconds.get(worker, 0.0)
+        workers.append({
+            "worker": worker,
+            "points": count,
+            "seconds": round(seconds, 6),
+            "points_per_second": round(count / seconds, 3) if seconds else None,
+        })
+
+    leases = {
+        "granted": len(by_name.get("coordinator.lease", ())),
+        "expired": len(by_name.get("coordinator.expire", ())),
+        "completed": len(by_name.get("coordinator.complete", ())),
+        "duplicates": sum(
+            1 for r in by_name.get("coordinator.deliver", ())
+            if r["attrs"].get("duplicate")
+        ),
+        "conflicts": len(by_name.get("coordinator.conflict", ())),
+    }
+    leases["reassigned"] = leases["expired"]
+
+    return {
+        "path": path,
+        "records": len(records),
+        "invalid": invalid,
+        "orphans": orphans,
+        "processes": processes,
+        "wall_seconds": round(wall, 6),
+        "phases": phases[:top] if top else phases,
+        "points": points,
+        "workers": workers,
+        "leases": leases,
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """The human-readable report for :func:`summarize_trace` output."""
+    lines: List[str] = []
+    lines.append(
+        f"trace {summary['path']}: {summary['records']} span(s), "
+        f"{summary['invalid']} invalid, {summary['orphans']} orphaned, "
+        f"{len(summary['processes'])} process(es), "
+        f"wall {summary['wall_seconds']:.3f}s"
+    )
+    if summary["processes"]:
+        lines.append("processes: " + ", ".join(summary["processes"]))
+    if summary["phases"]:
+        lines.append("")
+        lines.append(format_table(
+            ("phase", "count", "total_s", "share"),
+            [
+                (
+                    row["name"], row["count"],
+                    f"{row['total_seconds']:.3f}",
+                    percent(row["share"]),
+                )
+                for row in summary["phases"]
+            ],
+            title="top sinks",
+        ))
+    points = summary["points"]
+    if points["hit_ratio"] is not None:
+        lines.append("")
+        lines.append(
+            f"store-hit ratio: {points['store']} store / "
+            f"{points['simulated']} simulated "
+            f"({percent(points['hit_ratio'])} hit)"
+        )
+    if summary["workers"]:
+        lines.append("")
+        lines.append(format_table(
+            ("worker", "points", "busy_s", "points/s"),
+            [
+                (
+                    row["worker"], row["points"],
+                    f"{row['seconds']:.3f}",
+                    "-" if row["points_per_second"] is None
+                    else f"{row['points_per_second']:.2f}",
+                )
+                for row in summary["workers"]
+            ],
+            title="workers",
+        ))
+    leases = summary["leases"]
+    if any(leases.values()):
+        lines.append("")
+        lines.append(
+            "leases: " + " ".join(
+                f"{key}={leases[key]}"
+                for key in (
+                    "granted", "expired", "reassigned", "completed",
+                    "duplicates", "conflicts",
+                )
+            )
+        )
+    return "\n".join(lines)

@@ -320,6 +320,25 @@ def run_bench(
             comparison[design] = row
         payload["engine_comparison"] = comparison
 
+    # Observability snapshot: the bench exercises the same shared trace
+    # cache the sweeps use, so its counters after the run summarise how
+    # warm the protocol really was.  Optional fields only — readers of
+    # old payloads/records never required them.
+    cache_stats = shared_trace_cache().stats()
+    metrics: Dict[str, Any] = {
+        "trace_cache_hit_rate": cache_stats["hit_rate"],
+        "trace_cache_hits": cache_stats["hits"],
+        "trace_cache_misses": cache_stats["misses"],
+        "trace_cache_evictions": cache_stats["evictions"],
+    }
+    tier1 = os.environ.get("REPRO_TIER1_SECONDS")
+    if tier1:
+        try:
+            metrics["tier1_wall_seconds"] = float(tier1)
+        except ValueError:
+            pass
+    payload["metrics"] = metrics
+
     headline = measurements.get(HEADLINE_DESIGN)
     baseline = load_baseline()
     if headline is not None:
@@ -361,6 +380,9 @@ def history_records(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         "num_requests": protocol.get("num_requests"),
         "seed": protocol.get("seed"),
         "repeats": protocol.get("repeats"),
+        # Metrics snapshot (PR 9+): optional keys older records lack and
+        # tools/check_perf_history.py tolerates in both directions.
+        **(payload.get("metrics") or {}),
     }
     records = []
     for design, bench in payload.get("designs", {}).items():

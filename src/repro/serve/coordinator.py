@@ -37,7 +37,6 @@ import json
 import os
 import secrets
 import shutil
-import sys
 import tempfile
 import threading
 import time
@@ -48,6 +47,20 @@ from repro.exp.locking import file_lock
 from repro.exp.plugins import load_plugins
 from repro.exp.spec import ExperimentPoint
 from repro.exp.store import ResultStore, StoreMergeConflict
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
+
+log = get_logger("serve.coordinator")
+
+
+def _count(event: str, amount: int = 1) -> None:
+    """Bump the coordinator lifecycle counter for ``event``."""
+    registry().counter(
+        "repro_coordinator_events_total",
+        "coordinator lease/delivery lifecycle events",
+        event=event,
+    ).inc(amount)
 
 DEFAULT_LEASE_SECONDS = 60.0
 DEFAULT_SHARDS = 16
@@ -195,6 +208,13 @@ class Coordinator:
                 "lease_seconds": lease_seconds,
                 "plugins": list(plugins),
             })
+            _count("submitted")
+            tracer().event(
+                "coordinator.submit", run=run.id, points=len(unique),
+                shards=len(run.shards),
+            )
+            log.info("run accepted", run=run.id, points=len(unique),
+                     shards=len(run.shards))
             return self._snapshot(run)
 
     # -- worker protocol -----------------------------------------------
@@ -218,6 +238,15 @@ class Coordinator:
                     shard.leases_granted += 1
                     self._leases[lease_id] = shard
                     run.workers.add(worker)
+                    _count("granted")
+                    tracer().event(
+                        "coordinator.lease", run=run.id, shard=shard.index,
+                        lease=lease_id, worker=worker,
+                        points=len(shard.points),
+                    )
+                    log.debug("lease granted", run=run.id,
+                              shard=shard.index, lease=lease_id,
+                              worker=worker)
                     return {
                         "state": "granted",
                         "lease": {
@@ -249,20 +278,39 @@ class Coordinator:
                 raise CoordinatorError(
                     400, f"key {key!r} is not part of shard {shard.index}"
                 )
+            worker = payload.get("worker") or shard.worker
             previous = shard.delivered.get(key)
             if previous is not None:
                 if previous == result:
                     run.duplicates += 1
+                    _count("duplicate")
+                    tracer().event(
+                        "coordinator.deliver", run=run.id,
+                        shard=shard.index, worker=worker, key=key,
+                        duplicate=True,
+                    )
                     return {"state": "duplicate"}
                 # Deterministic engine: byte-differing re-delivery means
                 # version skew between workers, never a retry artifact.
+                _count("conflict")
+                tracer().event(
+                    "coordinator.conflict", run=run.id, shard=shard.index,
+                    worker=worker, key=key,
+                )
+                log.error("conflicting delivery", run=run.id,
+                          shard=shard.index, worker=worker, key=key)
                 self._fail_run(
                     run,
                     f"conflicting result for key {key} "
-                    f"(worker {payload.get('worker') or shard.worker})",
+                    f"(worker {worker})",
                 )
                 raise CoordinatorError(409, run.error)
             shard.delivered[key] = result
+            _count("delivered")
+            tracer().event(
+                "coordinator.deliver", run=run.id, shard=shard.index,
+                worker=worker, key=key, duplicate=False,
+            )
             return {"state": "accepted", "remaining": len(expected) - len(shard.delivered)}
 
     def complete(self, payload: Any) -> Dict[str, Any]:
@@ -297,9 +345,24 @@ class Coordinator:
             shard.state = "done"
             self._close_lease(shard)
             self._journal({"event": "shard", "run": run.id, "shard": shard.index})
+            _count("folded")
+            tracer().event(
+                "coordinator.complete", run=run.id, shard=shard.index,
+                worker=shard.worker, points=len(shard.points),
+            )
+            log.debug("shard folded", run=run.id, shard=shard.index,
+                      worker=shard.worker, points=len(shard.points))
             if all(s.state == "done" for s in run.shards):
                 run.state = "done"
                 self._journal({"event": "done", "run": run.id})
+                _count("done")
+                tracer().event(
+                    "coordinator.done", run=run.id, points=len(run.points),
+                    reassigned=run.reassigned, duplicates=run.duplicates,
+                )
+                log.info("run done", run=run.id, points=len(run.points),
+                         reassigned=run.reassigned,
+                         duplicates=run.duplicates)
             return {"state": "folded", "run_state": run.state}
 
     # -- submitter protocol --------------------------------------------
@@ -456,11 +519,20 @@ class Coordinator:
                 continue
             for shard in run.shards:
                 if shard.state == "leased" and now > shard.deadline:
+                    expired_lease, expired_worker = shard.lease_id, shard.worker
                     self._leases.pop(shard.lease_id, None)
                     shard.state = "pending"
                     shard.lease_id = None
                     shard.worker = None
                     run.reassigned += 1
+                    _count("expired")
+                    tracer().event(
+                        "coordinator.expire", run=run.id, shard=shard.index,
+                        lease=expired_lease, worker=expired_worker,
+                    )
+                    log.warning("lease expired", run=run.id,
+                                shard=shard.index, lease=expired_lease,
+                                worker=expired_worker)
 
     def _close_lease(self, shard: _Shard) -> None:
         if shard.lease_id is not None:
@@ -544,10 +616,7 @@ class Coordinator:
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError as error:
             self._journal_broken = True
-            print(
-                f"warning: coordinator journal disabled ({error})",
-                file=sys.stderr,
-            )
+            log.warning("coordinator journal disabled", error=str(error))
 
 
 __all__ = [

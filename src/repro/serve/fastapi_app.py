@@ -73,6 +73,12 @@ def create_app(service: SimulationService):
             headers=response.headers,
         )
 
+    @app.get("/metrics")
+    async def metrics(request: Request) -> FastAPIResponse:
+        # The conventional Prometheus scrape path lives outside the
+        # versioned prefix; same dispatch table either way.
+        return await _forward(request, "/metrics")
+
     @app.get(API_PREFIX)
     async def api_index(request: Request) -> FastAPIResponse:
         return await _forward(request, API_PREFIX)

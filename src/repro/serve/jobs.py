@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 import os
 import secrets
-import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -38,6 +37,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.exp import ExperimentSpec, ResultStore, SweepRunner, make_backend
 from repro.exp.locking import file_lock
 from repro.exp.spec import ExperimentPoint
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
+
+log = get_logger("serve.jobs")
 
 
 class JobState(str, Enum):
@@ -233,6 +237,13 @@ class JobManager:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
+        reg = registry()
+        self._queue_depth = reg.gauge(
+            "repro_serve_queue_depth", "submitted jobs not yet started"
+        )
+        self._running_gauge = reg.gauge(
+            "repro_serve_jobs_running", "jobs currently executing"
+        )
 
     # -- submission ----------------------------------------------------
 
@@ -269,6 +280,11 @@ class JobManager:
             self._jobs[job.id] = job
         self._journal(job, "submitted", kind=job.kind, detail=job.detail,
                       total=job.total)
+        self._queue_depth.inc()
+        tracer().event("job.submit", job=job.id, kind=job.kind,
+                       total=job.total)
+        log.debug("job submitted", job=job.id, kind=job.kind,
+                  total=job.total)
         future = self._pool.submit(self._execute, job)
         with self._lock:
             self._futures[job.id] = future
@@ -295,6 +311,7 @@ class JobManager:
             future = self._futures.get(job_id)
         if future is not None and future.cancel():
             # Never started: the worker will not run, so finish it here.
+            self._queue_depth.dec()
             if job.finish(JobState.CANCELLED):
                 self._journal_terminal(job)
         return job
@@ -309,16 +326,21 @@ class JobManager:
         for job in jobs:
             if job.finish(JobState.CANCELLED):
                 self._journal_terminal(job)
+        self._queue_depth.set(0)
+        self._running_gauge.set(0)
 
     # -- execution -----------------------------------------------------
 
     def _execute(self, job: Job) -> None:
+        self._queue_depth.dec()
         if job.cancel_requested:
             if job.finish(JobState.CANCELLED):
                 self._journal_terminal(job)
             return
         job.mark_started()
         self._journal(job, "started")
+        self._running_gauge.inc()
+        log.debug("job started", job=job.id, kind=job.kind)
 
         def progress(tick) -> None:
             job.record_point(tick.point.label(), tick.cached, tick.completed)
@@ -330,39 +352,53 @@ class JobManager:
 
         store = ResultStore(self.store_dir)
         try:
-            if job.kind == "figure":
-                from repro.reporting import run_figure
+            with tracer().span(
+                "job.run", job=job.id, kind=job.kind, total=job.total
+            ) as span:
+                try:
+                    if job.kind == "figure":
+                        from repro.reporting import run_figure
 
-                output = run_figure(
-                    job.figure,
-                    store=store,
-                    jobs=self.jobs,
-                    use_cache=self.use_cache,
-                    progress=progress,
-                    backend=make_backend(self.backend, jobs=self.jobs),
-                )
-                job.artifacts = [
-                    {"name": artifact.name, "text": artifact.text}
-                    for artifact in output.artifacts
-                ]
-            else:
-                runner = SweepRunner(
-                    store=store,
-                    jobs=self.jobs,
-                    use_cache=self.use_cache,
-                    progress=progress,
-                    backend=make_backend(self.backend, jobs=self.jobs),
-                )
-                runner.run(job.spec)
-            finished = job.finish(JobState.DONE)
-        except JobCancelled:
-            finished = job.finish(JobState.CANCELLED)
-        except Exception as error:  # noqa: BLE001 - fault isolation:
-            # one bad point (or a renderer bug) fails *this* job; the
-            # worker thread survives for the next one.
-            finished = job.finish(
-                JobState.FAILED, error=f"{type(error).__name__}: {error}"
-            )
+                        output = run_figure(
+                            job.figure,
+                            store=store,
+                            jobs=self.jobs,
+                            use_cache=self.use_cache,
+                            progress=progress,
+                            backend=make_backend(self.backend, jobs=self.jobs),
+                        )
+                        job.artifacts = [
+                            {"name": artifact.name, "text": artifact.text}
+                            for artifact in output.artifacts
+                        ]
+                    else:
+                        runner = SweepRunner(
+                            store=store,
+                            jobs=self.jobs,
+                            use_cache=self.use_cache,
+                            progress=progress,
+                            backend=make_backend(self.backend, jobs=self.jobs),
+                        )
+                        runner.run(job.spec)
+                    finished = job.finish(JobState.DONE)
+                except JobCancelled:
+                    finished = job.finish(JobState.CANCELLED)
+                except Exception as error:  # noqa: BLE001 - fault isolation:
+                    # one bad point (or a renderer bug) fails *this* job;
+                    # the worker thread survives for the next one.
+                    finished = job.finish(
+                        JobState.FAILED, error=f"{type(error).__name__}: {error}"
+                    )
+                span.annotate(state=job.state.value)
+        finally:
+            self._running_gauge.dec()
+        registry().counter(
+            "repro_serve_jobs_total",
+            "jobs reaching a terminal state",
+            kind=job.kind,
+            state=job.state.value,
+        ).inc()
+        log.debug("job finished", job=job.id, state=job.state.value)
         # finish() is first-transition-wins: if a racing cancel (or
         # shutdown) already finished the job, it also journaled the
         # terminal record — journaling here too would double it.
@@ -390,7 +426,7 @@ class JobManager:
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError as error:
             self._journal_broken = True
-            print(f"warning: job journal disabled ({error})", file=sys.stderr)
+            log.warning("job journal disabled", error=str(error))
 
     def _journal_terminal(self, job: Job) -> None:
         snapshot = job.snapshot()

@@ -32,9 +32,11 @@ from urllib.parse import unquote
 
 from repro.caches.registry import design_names
 from repro.exp import ENGINE_VERSION, ResultStore
+from repro.obs.metrics import registry, render_prometheus
 from repro.serve.coordinator import Coordinator, CoordinatorError
 from repro.serve.jobs import Job, JobManager, JobState, spec_from_payload
 from repro.workloads.profiles import profile_names
+from repro.workloads.trace import shared_trace_cache
 
 API_VERSION = "v1"
 API_PREFIX = f"/api/{API_VERSION}"
@@ -45,6 +47,10 @@ API_PREFIX = f"/api/{API_VERSION}"
 API_ROUTES: Tuple[Tuple[str, str], ...] = (
     ("GET", f"{API_PREFIX}"),
     ("GET", f"{API_PREFIX}/health"),
+    ("GET", f"{API_PREFIX}/metrics"),
+    # The one route outside the versioned prefix: Prometheus scrapers
+    # expect the conventional bare path (text exposition format).
+    ("GET", "/metrics"),
     ("GET", f"{API_PREFIX}/designs"),
     ("GET", f"{API_PREFIX}/workloads"),
     ("GET", f"{API_PREFIX}/figures"),
@@ -150,6 +156,40 @@ class SimulationService:
                 "active": sum(1 for run in runs if run["state"] == "running"),
             },
         }
+
+    def _refresh_gauges(self) -> None:
+        """Mirror pull-model stats into the registry at scrape time.
+
+        The trace cache keeps its own counters (zero registry traffic on
+        the serving path); scrapes copy them into gauges here, so both
+        exposition formats see fresh values without the cache ever
+        paying for them.
+        """
+        stats = shared_trace_cache().stats()
+        reg = registry()
+        for name, help_text in (
+            ("entries", "resident trace cache entries"),
+            ("hits", "trace cache hits since process start"),
+            ("misses", "trace cache misses since process start"),
+            ("evictions", "trace cache LRU evictions since process start"),
+            ("cached_requests", "materialised requests resident in the cache"),
+            ("resident_bytes", "columnar bytes resident in the cache"),
+        ):
+            reg.gauge(f"repro_trace_cache_{name}", help_text).set(stats[name])
+
+    def metrics(self) -> Dict[str, Any]:
+        """The registry snapshot, for ``GET /api/v1/metrics`` (JSON)."""
+        self._refresh_gauges()
+        return {
+            "service": "repro-serve",
+            "run": self.manager.run_id,
+            "metrics": registry().as_dict(),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition, for ``GET /metrics``."""
+        self._refresh_gauges()
+        return render_prometheus(registry())
 
     def designs(self) -> Dict[str, Any]:
         return {"designs": list(design_names())}
@@ -434,6 +474,17 @@ def _h_health(service, params, query, body) -> Response:
     return Response(payload=service.health())
 
 
+def _h_metrics(service, params, query, body) -> Response:
+    return Response(payload=service.metrics())
+
+
+def _h_metrics_text(service, params, query, body) -> Response:
+    return Response(
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+        text=service.metrics_text(),
+    )
+
+
 def _h_designs(service, params, query, body) -> Response:
     return Response(payload=service.designs())
 
@@ -519,6 +570,8 @@ def _h_complete(service, params, query, body) -> Response:
 _HANDLERS: Dict[Tuple[str, str], RouteHandler] = {
     ("GET", f"{API_PREFIX}"): _h_index,
     ("GET", f"{API_PREFIX}/health"): _h_health,
+    ("GET", f"{API_PREFIX}/metrics"): _h_metrics,
+    ("GET", "/metrics"): _h_metrics_text,
     ("GET", f"{API_PREFIX}/designs"): _h_designs,
     ("GET", f"{API_PREFIX}/workloads"): _h_workloads,
     ("GET", f"{API_PREFIX}/figures"): _h_figures,

@@ -34,6 +34,9 @@ from repro.exp.backends.distributed import (
 from repro.exp.backends.serial import SerialBackend
 from repro.exp.plugins import load_plugins
 from repro.exp.spec import ExperimentPoint
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry
+from repro.obs.spans import tracer
 
 
 class LeaseLost(RuntimeError):
@@ -90,14 +93,20 @@ class WorkerLoop:
         self.quiet = quiet
         self._clock = clock
         self._stop = threading.Event()
+        self.log = get_logger("serve.worker").bind(worker=self.worker_id)
 
     def request_stop(self) -> None:
         """Ask :meth:`run` to return after the current shard."""
         self._stop.set()
 
-    def _log(self, message: str) -> None:
-        if not self.quiet:
-            print(f"[{self.worker_id}] {message}", flush=True)
+    def _log(self, message: str, **fields) -> None:
+        # Library embedders default to quiet=True: shard chatter drops to
+        # debug level there, so only `repro worker -v` (or programmatic
+        # quiet=False) narrates the protocol on stderr.
+        if self.quiet:
+            self.log.debug(message, **fields)
+        else:
+            self.log.info(message, **fields)
 
     # -- one protocol round --------------------------------------------
 
@@ -121,15 +130,29 @@ class WorkerLoop:
         load_plugins(plugins)
         points = [ExperimentPoint.from_dict(raw) for raw in lease["points"]]
         self._log(
-            f"leased shard {lease['shard']} of {lease['run']} "
-            f"({len(points)} points)"
+            "leased shard", lease=lease["id"], run=lease["run"],
+            shard=lease["shard"], points=len(points),
         )
-        self._run_shard(lease["id"], points, plugins)
+        with tracer().span(
+            "worker.shard", worker=self.worker_id, lease=lease["id"],
+            run=lease["run"], shard=lease["shard"], points=len(points),
+        ):
+            self._run_shard(lease["id"], points, plugins)
         self.shards_completed += 1
-        self._log(f"folded shard {lease['shard']} of {lease['run']}")
+        registry().counter(
+            "repro_worker_shards_total", "shards folded by this worker",
+            worker=self.worker_id,
+        ).inc()
+        self._log("folded shard", lease=lease["id"], run=lease["run"],
+                  shard=lease["shard"])
         return True
 
     def _run_shard(self, lease_id, points, plugins) -> None:
+        trace = tracer()
+        delivered_counter = registry().counter(
+            "repro_worker_points_total", "points delivered by this worker",
+            worker=self.worker_id,
+        )
         for point, result in self.backend.execute(points, plugins=plugins):
             self._before_delivery()
             reply = self.transport.call(
@@ -145,6 +168,11 @@ class WorkerLoop:
             if reply.get("state") == "stale":
                 raise LeaseLost(f"lease {lease_id} lost mid-shard")
             self.delivered_total += 1
+            delivered_counter.inc()
+            trace.event(
+                "worker.deliver", worker=self.worker_id, lease=lease_id,
+                key=point.key(),
+            )
         reply = self.transport.call(
             "POST", f"{COORDINATOR_PREFIX}/complete", {"lease": lease_id}
         )
@@ -167,10 +195,10 @@ class WorkerLoop:
             try:
                 worked = self.step()
             except LeaseLost as error:
-                self._log(str(error))
+                self.log.warning("lease lost", error=str(error))
                 continue
             except TransportError as error:
-                self._log(f"transport error: {error}")
+                self.log.warning("transport error", error=str(error))
                 worked = False
             if worked:
                 idle_since = None
@@ -182,7 +210,8 @@ class WorkerLoop:
                 self.max_idle_seconds is not None
                 and now - idle_since >= self.max_idle_seconds
             ):
-                self._log(f"idle for {self.max_idle_seconds}s, exiting")
+                self._log("idle, exiting",
+                          idle_seconds=self.max_idle_seconds)
                 return
             # Event-based sleep so request_stop() interrupts the wait.
             self._stop.wait(self.poll_seconds)

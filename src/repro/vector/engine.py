@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from itertools import islice
 
+from repro.obs.metrics import registry
 from repro.vector.columns import trace_segment
 from repro.vector.kernels import build_kernel
 from repro.workloads.synthetic import SyntheticWorkload
@@ -158,4 +159,11 @@ def replay(sim, trace=None):
     perf._instructions += instructions
 
     measured = processed - warmup if measuring else processed
+    # Point-boundary accounting only: one registry touch per replay,
+    # never per request or per segment.
+    registry().counter(
+        "repro_engine_requests_total",
+        "requests replayed, by execution engine",
+        engine="vector",
+    ).inc(processed)
     return sim._summarise(measured)

@@ -257,9 +257,37 @@ class TraceCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters + occupancy: hits, misses, evictions, resident bytes.
+
+        ``resident_bytes`` is the columnar storage only (the memoised
+        request objects cost ~250B each on top; ``cached_requests``
+        bounds those).  Surfaced by ``repro store stats`` and, at scrape
+        time, by the serve layer's ``/metrics`` endpoints.
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if self.hits + self.misses
+                    else None
+                ),
+                "evictions": self.evictions,
+                "cached_requests": self.cached_requests,
+                "resident_bytes": sum(
+                    entry.trace.nbytes()
+                    for entry in self._entries.values()
+                ),
+            }
 
     @property
     def cached_requests(self) -> int:
@@ -285,6 +313,7 @@ class TraceCache:
             self._entries[key] = entry
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
         else:
             self.hits += 1
             self._entries.move_to_end(key)
@@ -329,6 +358,7 @@ class TraceCache:
             # regenerates bit-identically.
             while self._entries and self.cached_requests > self.max_total_requests:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             return served
 
     def columnar(
@@ -368,6 +398,7 @@ class TraceCache:
             # reference even if the entry is evicted here.
             while self._entries and self.cached_requests > self.max_total_requests:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             return trace
 
     def trace(

@@ -1,0 +1,258 @@
+"""Observability across the serve layer and the worker fleet.
+
+The integration half of the obs story (``test_obs.py`` covers the
+primitives): the two metrics endpoints on a live socket — including
+under concurrent scrapes — fleet telemetry (a traced distributed run
+covers every delivered point, with no orphaned parent ids, and a
+killed-worker run is reconstructable from the trace alone), and the
+hard constraint that tracing cannot change a single stored byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro.exp import ExperimentSpec, ResultStore, SweepRunner
+from repro.exp.backends.distributed import COORDINATOR_PREFIX
+from repro.obs.metrics import reset_registry
+from repro.obs.spans import TRACE_ENV, configure_tracer, load_span_schema, validate_span
+from repro.obs.summarize import summarize_trace
+from repro.serve.faults import FaultyWorker, LocalTransport
+from repro.serve.worker import WorkerKilled, WorkerLoop
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        workloads=("web_search",), designs=("page",),
+        capacities_mb=64, num_requests=2000,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def store_lines(directory) -> list:
+    with open(ResultStore(str(directory)).path) as handle:
+        return sorted(line for line in handle.read().splitlines() if line)
+
+
+@pytest.fixture()
+def traced(tmp_path):
+    """An enabled process-wide tracer on a temp file; restored after."""
+    reset_registry()
+    saved = os.environ.pop(TRACE_ENV, None)
+    path = str(tmp_path / "trace.ndjson")
+    configure_tracer(path, process="test")
+    yield path
+    configure_tracer(None)
+    reset_registry()
+    if saved is not None:
+        os.environ[TRACE_ENV] = saved
+
+
+def read_spans(path):
+    schema = load_span_schema()
+    records = [json.loads(line) for line in open(path)]
+    for record in records:
+        assert validate_span(record, schema) == [], record
+    return records
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def fetch(base, path):
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+        return response.status, response.headers.get("Content-Type"), (
+            response.read().decode()
+        )
+
+
+class TestMetricsEndpoints:
+    def test_json_and_prometheus_routes(self, http_stack):
+        base, _service = http_stack()
+        status, ctype, body = fetch(base, "/api/v1/metrics")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["service"] == "repro-serve"
+        assert "repro_serve_queue_depth" in payload["metrics"]
+        assert "repro_trace_cache_entries" in payload["metrics"]
+
+        status, ctype, body = fetch(base, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        assert "# TYPE repro_serve_queue_depth gauge" in body
+        assert body.endswith("\n")
+
+    def test_prometheus_format_is_well_formed(self, http_stack):
+        base, _service = http_stack()
+        _, _, body = fetch(base, "/metrics")
+        for line in body.splitlines():
+            assert line.startswith("#") or " " in line, line
+            if not line.startswith("#"):
+                value = line.rsplit(" ", 1)[1]
+                float(value)  # every sample line ends in a number
+
+    def test_concurrent_scrapes(self, http_stack):
+        base, _service = http_stack()
+        errors = []
+
+        def scrape(path, parse):
+            try:
+                for _ in range(10):
+                    status, _, body = fetch(base, path)
+                    assert status == 200
+                    parse(body)
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=scrape, args=("/metrics", str)),
+            threading.Thread(target=scrape, args=("/metrics", str)),
+            threading.Thread(
+                target=scrape, args=("/api/v1/metrics", json.loads)
+            ),
+            threading.Thread(
+                target=scrape, args=("/api/v1/metrics", json.loads)
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_metrics_reflect_job_activity(self, http_stack):
+        base, _service = http_stack()
+        spec = tiny_spec()
+        payload = json.dumps(spec.to_dict()).encode()
+        request = urllib.request.Request(
+            f"{base}/api/v1/jobs", data=payload,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            job = json.loads(response.read())
+        deadline = 60
+        import time as _time
+        while deadline > 0:
+            _, _, body = fetch(base, f"/api/v1/jobs/{job['id']}")
+            if json.loads(body)["state"] in ("done", "failed"):
+                break
+            _time.sleep(0.1)
+            deadline -= 1
+        _, _, body = fetch(base, "/api/v1/metrics")
+        metrics = json.loads(body)["metrics"]
+        samples = metrics["repro_serve_jobs_total"]["samples"]
+        done = [
+            s["value"] for s in samples
+            if s["labels"].get("state") == "done"
+        ]
+        assert sum(done) >= 1
+
+
+class TestFleetTelemetry:
+    def test_traced_distributed_run_covers_every_point(
+        self, tmp_path, serve_stack, traced
+    ):
+        service = serve_stack(store_dir=str(tmp_path / "coord"))
+        transport = LocalTransport(service)
+        points = tuple(tiny_spec(seeds=(0, 1, 2)).points())
+        run_id = transport.call(
+            "POST", f"{COORDINATOR_PREFIX}/runs",
+            {"points": [p.to_dict() for p in points], "shards": 3},
+        )["id"]
+        worker = WorkerLoop(transport, worker_id="w1")
+        while worker.step():
+            pass
+        snapshot = transport.call("GET", f"{COORDINATOR_PREFIX}/runs/{run_id}")
+        assert snapshot["state"] == "done"
+
+        records = read_spans(traced)
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+
+        # >= 1 span per delivered point, on both sides of the protocol.
+        delivered_keys = {
+            r["attrs"]["key"] for r in by_name["worker.deliver"]
+        }
+        accepted_keys = {
+            r["attrs"]["key"] for r in by_name["coordinator.deliver"]
+        }
+        assert delivered_keys == {p.key() for p in points}
+        assert accepted_keys == delivered_keys
+        assert len(by_name["worker.shard"]) == 3
+        assert len(by_name["coordinator.lease"]) == 3
+        assert len(by_name["coordinator.complete"]) == 3
+        assert len(by_name["coordinator.done"]) == 1
+
+        # No orphaned parent ids: every parent resolves within the file.
+        ids = {record["span"] for record in records}
+        for record in records:
+            assert record["parent"] is None or record["parent"] in ids
+
+    def test_killed_worker_run_reconstructs_from_telemetry(
+        self, tmp_path, serve_stack, traced
+    ):
+        clock = FakeClock()
+        service = serve_stack(
+            store_dir=str(tmp_path / "coord"), clock=clock, lease_seconds=60
+        )
+        transport = LocalTransport(service)
+        points = tuple(tiny_spec(seeds=(0, 1, 2)).points())
+        transport.call(
+            "POST", f"{COORDINATOR_PREFIX}/runs",
+            {"points": [p.to_dict() for p in points], "shards": 1},
+        )
+        crasher = FaultyWorker(transport, worker_id="crasher", kill_after=2)
+        with pytest.raises(WorkerKilled):
+            crasher.step()
+        clock.advance(61)
+        survivor = WorkerLoop(transport, worker_id="survivor")
+        while survivor.step():
+            pass
+
+        summary = summarize_trace(traced)
+        assert summary["invalid"] == 0
+        assert summary["orphans"] == 0
+        leases = summary["leases"]
+        assert leases["granted"] == 2
+        assert leases["expired"] == 1
+        assert leases["reassigned"] == 1
+        assert leases["duplicates"] == 2  # crasher's deliveries, redone
+        assert leases["conflicts"] == 0
+        by_worker = {row["worker"]: row["points"] for row in summary["workers"]}
+        assert by_worker == {"crasher": 2, "survivor": 3}
+
+
+class TestTracingByteParity:
+    def test_traced_sweep_store_is_byte_identical(self, tmp_path):
+        spec = tiny_spec(seeds=(0, 1))
+        reset_registry()
+        saved = os.environ.pop(TRACE_ENV, None)
+        try:
+            configure_tracer(None)
+            SweepRunner(store=ResultStore(str(tmp_path / "plain"))).run(spec)
+            configure_tracer(str(tmp_path / "t.ndjson"), process="parity")
+            SweepRunner(store=ResultStore(str(tmp_path / "traced"))).run(spec)
+        finally:
+            configure_tracer(None)
+            reset_registry()
+            if saved is not None:
+                os.environ[TRACE_ENV] = saved
+        assert store_lines(tmp_path / "plain") == store_lines(tmp_path / "traced")
+        assert read_spans(str(tmp_path / "t.ndjson"))  # trace was written

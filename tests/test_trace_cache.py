@@ -141,6 +141,37 @@ class TestTraceCacheDeterminism:
             TraceCache(max_entries=-1)
 
 
+class TestCacheStats:
+    def test_stats_snapshot(self):
+        cache = TraceCache(max_entries=4)
+        empty = cache.stats()
+        assert empty["entries"] == 0
+        assert empty["hit_rate"] is None
+        assert empty["resident_bytes"] == 0
+
+        cache.requests(profile_of(), 0, 2048, 300)   # miss
+        cache.requests(profile_of(), 0, 2048, 300)   # hit
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == 4
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["evictions"] == 0
+        assert stats["cached_requests"] == 300
+        assert stats["resident_bytes"] > 0
+
+    def test_stats_count_evictions(self):
+        cache = TraceCache(max_entries=1)
+        cache.requests(profile_of(), 0, 2048, 100)
+        cache.requests(profile_of("mapreduce"), 0, 2048, 100)
+        assert cache.stats()["evictions"] == 1
+        cache.clear()
+        # clear() resets residency but keeps the lifetime counters.
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["evictions"] == 1
+
+
 def _worker_stream_fields(args):
     """Materialise a trace inside a worker process (module-level for mp)."""
     workload, seed, n = args

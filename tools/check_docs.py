@@ -54,9 +54,11 @@ def iter_fenced_commands(text: str):
 
 
 # Path segments may be concrete values, shell variables ($JOB) or the
-# route's own {placeholder}; queries and quotes end the path.
-API_PATH_RE = re.compile(r"/api/v\d+[A-Za-z0-9_\-/{}$.]*")
-API_METHOD_RE = re.compile(r"^(GET|POST|PUT|DELETE|PATCH)\s+(/api/\S+)")
+# route's own {placeholder}; queries and quotes end the path.  Bare
+# ``/metrics`` is the one route outside the versioned prefix (the
+# conventional Prometheus scrape path), so it is matched explicitly.
+API_PATH_RE = re.compile(r"/api/v\d+[A-Za-z0-9_\-/{}$.]*|/metrics\b")
+API_METHOD_RE = re.compile(r"^(GET|POST|PUT|DELETE|PATCH)\s+((?:/api|/metrics)\S*)")
 
 
 def _api_calls_from_line(number: int, line: str):
@@ -98,7 +100,11 @@ def iter_fenced_api_calls(text: str):
                 yield from _api_calls_from_line(pending_line, pending)
                 pending = ""
             continue
-        if "/api/" not in stripped and "curl" not in stripped:
+        if (
+            "/api/" not in stripped
+            and "/metrics" not in stripped
+            and "curl" not in stripped
+        ):
             continue
         stripped = stripped.lstrip("$").strip()
         if stripped.endswith("\\"):

@@ -14,6 +14,11 @@ machine that recorded the history, so the gate only *fails* on a
 catastrophic drop (fresh < 25% of recorded — the signature of the fast
 path silently disengaging) and *warns* below 75%.  Override the failure
 ratio with ``REPRO_PERF_REGRESSION_THRESHOLD``.
+
+Records may carry an optional metrics snapshot (``trace_cache_hit_rate``
+and friends, ``tier1_wall_seconds``) appended by newer benches; the gate
+surfaces those fields when present and compares fine against old records
+that lack them — only ``warm_requests_per_second`` is ever required.
 """
 
 from __future__ import annotations
@@ -148,6 +153,9 @@ def main() -> int:
                 f" [protocol differs: {fresh.get('num_requests')} vs "
                 f"{recorded.get('num_requests')} requests]"
             )
+        hit_rate = fresh.get("trace_cache_hit_rate")
+        if isinstance(hit_rate, (int, float)):
+            context += f" [trace-cache hit rate {hit_rate:.0%}]"
         if fraction < ratio:
             failures += 1
             print(f"FAIL {label}: {context} — below the {ratio:.2f}x floor")
